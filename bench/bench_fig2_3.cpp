@@ -1,0 +1,148 @@
+// Reproduces paper Figs. 2 and 3: a system of four macro blocks (A-D)
+// communicating through a standard-cell block X.
+//
+// Fig. 2a (block flow): every block connects to X -- a star.
+// Fig. 2b (macro flow): macros flow A -> B -> C -> D through X's registers.
+// Fig. 3: with block flow only (lambda=1) the blocks crowd around X in
+// arbitrary relative order; with macro flow only (lambda=0) the chain is
+// laid out but X floats; the blend recovers both properties.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "core/dataflow_inference.hpp"
+#include "core/decluster.hpp"
+#include "core/hidap.hpp"
+#include "viz/svg.hpp"
+
+using namespace hidap;
+using namespace hidap::benchutil;
+
+namespace {
+
+// Four single-macro blocks chained through register stages living in X.
+Design build_fig2_system() {
+  Design d("fig2");
+  const MacroDefId mdef = d.library().add(MacroLibrary::make_sram("MEM", 30, 20, 32));
+  const HierId hx = d.add_hier(d.root(), "X");
+  std::vector<HierId> hblk;
+  std::vector<CellId> macros;
+  for (const char* name : {"A", "B", "C", "D"}) {
+    const HierId h = d.add_hier(d.root(), name);
+    hblk.push_back(h);
+    macros.push_back(d.add_cell(h, "mem", CellKind::Macro, 0.0, mdef));
+  }
+  const int w = 32;
+  // Chain: macro[i] -> out regs (block i) -> X regs -> in regs (block i+1)
+  // -> macro[i+1].
+  for (int i = 0; i + 1 < 4; ++i) {
+    for (int b = 0; b < w; ++b) {
+      const std::string idx = "[" + std::to_string(b) + "]";
+      const NetId q = d.add_net("q");
+      d.set_driver(q, macros[static_cast<std::size_t>(i)], 30.0f, 10.0f);
+      const CellId out_reg = d.add_cell(hblk[static_cast<std::size_t>(i)],
+                                        "out" + std::to_string(i) + "_q" + idx,
+                                        CellKind::Flop, 1.0);
+      d.add_sink(q, out_reg);
+      const NetId n0 = d.add_net("n0");
+      d.set_driver(n0, out_reg);
+      const CellId x_reg = d.add_cell(hx, "x" + std::to_string(i) + "_q" + idx,
+                                      CellKind::Flop, 1.0);
+      d.add_sink(n0, x_reg);
+      const NetId n1 = d.add_net("n1");
+      d.set_driver(n1, x_reg);
+      const CellId in_reg = d.add_cell(hblk[static_cast<std::size_t>(i) + 1],
+                                       "in" + std::to_string(i + 1) + "_q" + idx,
+                                       CellKind::Flop, 1.0);
+      d.add_sink(n1, in_reg);
+      const NetId n2 = d.add_net("n2");
+      d.set_driver(n2, in_reg);
+      d.add_sink(n2, macros[static_cast<std::size_t>(i) + 1], 0.0f, 10.0f);
+    }
+  }
+  // X carries enough extra logic to qualify as a block (> 40% of area).
+  for (int i = 0; i < 2200; ++i) {
+    d.add_cell(hx, "fill_c" + std::to_string(i), CellKind::Comb, 1.0);
+  }
+  const double side = std::sqrt(d.total_cell_area() / 0.5);
+  d.set_die(Die{side, side});
+  return d;
+}
+
+struct LayoutSummary {
+  double chain_length = 0.0;  // dist(A,B)+dist(B,C)+dist(C,D)
+  double star_length = 0.0;   // sum of dist(block, X)
+};
+
+LayoutSummary summarize(const HierTree& ht, const LevelSnapshot& snap) {
+  std::map<std::string, Point> centers;
+  for (std::size_t b = 0; b < snap.blocks.size(); ++b) {
+    centers[ht.path(snap.blocks[b])] = snap.block_rects[b].center();
+  }
+  LayoutSummary s;
+  const char* chain[] = {"fig2/A", "fig2/B", "fig2/C", "fig2/D"};
+  for (int i = 0; i + 1 < 4; ++i) {
+    s.chain_length += manhattan(centers.at(chain[i]), centers.at(chain[i + 1]));
+  }
+  for (const char* b : chain) s.star_length += manhattan(centers.at(b), centers.at("fig2/X"));
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::Warn);
+  const Design design = build_fig2_system();
+  const PlacementContext context(design);
+  const std::string dir = out_dir();
+
+  // ---- Fig. 2: dump the two connection graphs at the top level. -------
+  const HierTree& ht = context.ht;
+  const double area = ht.area(ht.root());
+  const Declustering dec = hierarchical_declustering(ht, ht.root(), 0.01 * area,
+                                                     0.40 * area);
+  HiDaPOptions opts;
+  const LevelDataflow flow =
+      infer_level_dataflow(design, ht, context.seq, ht.root(), dec.hcb, {},
+                           std::vector<bool>(design.cell_count(), false), opts);
+  std::printf("Fig. 2 connection graphs (%zu blocks):\n", dec.hcb.size());
+  std::printf("%-12s %-12s %12s %12s\n", "from", "to", "block bits", "macro bits");
+  print_rule(52);
+  for (const DfEdge& e : flow.gdf->edges()) {
+    std::printf("%-12s %-12s %12.0f %12.0f\n",
+                flow.gdf->node(e.from).name.c_str(), flow.gdf->node(e.to).name.c_str(),
+                e.block_flow.total_bits(), e.macro_flow.total_bits());
+  }
+
+  // ---- Fig. 3: layouts for the three lambda regimes. -------------------
+  std::printf("\nFig. 3 layouts:\n");
+  std::printf("%-28s %14s %14s\n", "configuration", "chain length", "star length");
+  print_rule(60);
+  const struct {
+    double lambda;
+    const char* name;
+    const char* file;
+  } regimes[] = {{1.0, "block flow only (3a)", "fig3a_block_only.svg"},
+                 {0.0, "macro flow only (3b)", "fig3b_macro_only.svg"},
+                 {0.5, "blended (3c)", "fig3c_blended.svg"}};
+  double chain[3] = {0, 0, 0};
+  int idx = 0;
+  for (const auto& regime : regimes) {
+    HiDaPOptions o = bench_flow_options().hidap;
+    o.lambda = regime.lambda;
+    o.seed = 11;
+    const PlacementResult result = place_macros(design, context, o);
+    const LayoutSummary s = summarize(ht, result.snapshots.front());
+    chain[idx++] = s.chain_length;
+    std::printf("%-28s %14.0f %14.0f\n", regime.name, s.chain_length, s.star_length);
+    write_snapshot_svg(design, result.snapshots.front(), dir + "/" + regime.file);
+  }
+  print_rule(60);
+  std::printf("expected shape: macro-flow-aware runs (3b, 3c) give a shorter A-B-C-D\n"
+              "chain than block-flow-only (3a); the blend also keeps X central.\n");
+  std::printf("chain(3a)=%.0f vs chain(3c)=%.0f -> %s\n", chain[0], chain[2],
+              chain[2] <= chain[0] ? "reproduced" : "NOT reproduced (SA noise; rerun)");
+  std::printf("wrote out/fig3*.svg\n");
+  return 0;
+}

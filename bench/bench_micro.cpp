@@ -1,0 +1,155 @@
+// Google-benchmark kernel timings for the library's hot paths: shape
+// curve composition, budget layout, Polish-expression moves, Gseq
+// extraction, multi-source BFS (target-area assignment), affinity
+// inference and full per-level layout annealing.
+
+#include <benchmark/benchmark.h>
+
+#include "core/dataflow_inference.hpp"
+#include "core/decluster.hpp"
+#include "core/layout_optimizer.hpp"
+#include "core/target_area.hpp"
+#include "dataflow/seq_extract.hpp"
+#include "floorplan/area_floorplanner.hpp"
+#include "floorplan/budget_layout.hpp"
+#include "gen/suite.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hidap;
+
+const Design& medium_design() {
+  static Design* d = [] {
+    set_log_level(LogLevel::Warn);
+    CircuitSpec spec = fig1_spec();
+    spec.target_cells = 20000;
+    spec.macro_count = 24;
+    spec.subsystems = 3;
+    return new Design(generate_circuit(spec));
+  }();
+  return *d;
+}
+
+void BM_ShapeCurveCompose(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  std::vector<ShapeCurve> leaves;
+  for (int i = 0; i < n; ++i) {
+    leaves.push_back(ShapeCurve::for_rect(rng.next_double(5, 50), rng.next_double(5, 50)));
+  }
+  const PolishExpression expr = PolishExpression::initial(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compose_curve(leaves, expr, 24));
+  }
+}
+BENCHMARK(BM_ShapeCurveCompose)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_BudgetLayout(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(11);
+  std::vector<BudgetBlock> blocks;
+  for (int i = 0; i < n; ++i) {
+    BudgetBlock b;
+    b.at = rng.next_double(50, 200);
+    b.am = b.at * 0.8;
+    if (i % 2 == 0) b.gamma = ShapeCurve::for_rect(rng.next_double(3, 10), rng.next_double(3, 10));
+    blocks.push_back(b);
+  }
+  PolishExpression expr = PolishExpression::initial(n);
+  for (int i = 0; i < 50; ++i) expr.perturb(rng);
+  const Rect budget{0, 0, 100, 100};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(budget_layout(expr, blocks, budget));
+  }
+}
+BENCHMARK(BM_BudgetLayout)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_PolishPerturb(benchmark::State& state) {
+  Rng rng(3);
+  PolishExpression expr = PolishExpression::initial(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    expr.perturb(rng);
+    benchmark::DoNotOptimize(expr);
+  }
+}
+BENCHMARK(BM_PolishPerturb)->Arg(16)->Arg(64);
+
+void BM_CellAdjacencyBuild(benchmark::State& state) {
+  const Design& d = medium_design();
+  for (auto _ : state) {
+    CellAdjacency adj(d);
+    benchmark::DoNotOptimize(adj);
+  }
+}
+BENCHMARK(BM_CellAdjacencyBuild);
+
+void BM_SeqExtraction(benchmark::State& state) {
+  const Design& d = medium_design();
+  const CellAdjacency adj(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract_seq_graph(d, adj));
+  }
+}
+BENCHMARK(BM_SeqExtraction);
+
+void BM_TargetAreaBfs(benchmark::State& state) {
+  const Design& d = medium_design();
+  const CellAdjacency adj(d);
+  const HierTree ht(d);
+  const double area = ht.area(ht.root());
+  const Declustering dec =
+      hierarchical_declustering(ht, ht.root(), 0.01 * area, 0.4 * area);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assign_target_areas(d, adj, ht, ht.root(), dec.hcb));
+  }
+}
+BENCHMARK(BM_TargetAreaBfs);
+
+void BM_DataflowInference(benchmark::State& state) {
+  const Design& d = medium_design();
+  const CellAdjacency adj(d);
+  const HierTree ht(d);
+  const SeqGraph seq = extract_seq_graph(d, adj);
+  const double area = ht.area(ht.root());
+  const Declustering dec =
+      hierarchical_declustering(ht, ht.root(), 0.01 * area, 0.4 * area);
+  const HiDaPOptions opts;
+  const std::vector<Point> est(d.cell_count());
+  const std::vector<bool> has(d.cell_count(), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        infer_level_dataflow(d, ht, seq, ht.root(), dec.hcb, est, has, opts));
+  }
+}
+BENCHMARK(BM_DataflowInference);
+
+void BM_LayoutAnneal(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  LayoutProblem p;
+  p.region = {0, 0, 400, 400};
+  AffinityMatrix aff(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    BudgetBlock b;
+    b.at = rng.next_double(2000, 12000);
+    b.am = b.at * 0.7;
+    b.gamma = ShapeCurve::for_rect(rng.next_double(20, 60), rng.next_double(20, 60));
+    p.blocks.push_back(b);
+    if (i > 0) aff.set(static_cast<std::size_t>(i - 1), static_cast<std::size_t>(i), 1.0);
+  }
+  p.affinity = &aff;
+  AnnealOptions a;
+  a.moves_per_temperature = 50;
+  a.cooling = 0.8;
+  a.max_stagnant_temperatures = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize_layout(p, a));
+  }
+}
+BENCHMARK(BM_LayoutAnneal)->Arg(6)->Arg(12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,174 @@
+// hidap_cli: command-line front end for the whole library.
+//
+//   hidap_cli place  -i netlist.v -o placed.def [--lambda L] [--k K]
+//                    [--seed S] [--halo H] [--effort E] [--svg out.svg]
+//                    [--fix preplaced.def]
+//   hidap_cli eval   -i netlist.v -p placed.def          # metrics of a DEF
+//   hidap_cli flows  -i netlist.v [--csv table.csv]      # 3-flow comparison
+//   hidap_cli gen    -o netlist.v [--cells N] [--macros M] [--seed S]
+//
+// The netlist format is the hidap structural-Verilog subset (see
+// verilog_writer.hpp); placements are exchanged as DEF.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/hidap.hpp"
+#include "eval/flows.hpp"
+#include "eval/report.hpp"
+#include "gen/circuit_gen.hpp"
+#include "netlist/def_io.hpp"
+#include "netlist/verilog_parser.hpp"
+#include "netlist/verilog_writer.hpp"
+#include "util/log.hpp"
+#include "viz/svg.hpp"
+
+using namespace hidap;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string input, output, placement, svg, csv, fix;
+  double lambda = 0.5, k = 2.0, halo = 0.0, effort = 1.0;
+  std::uint64_t seed = 1;
+  int cells = 20000, macros = 24;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: hidap_cli <place|eval|flows|gen> -i <netlist.v> [options]\n"
+               "  place: -o out.def [--lambda L] [--k K] [--seed S] [--halo H]\n"
+               "         [--effort E] [--svg out.svg] [--fix preplaced.def]\n"
+               "  eval:  -p placed.def\n"
+               "  flows: [--csv table.csv] [--seed S]\n"
+               "  gen:   -o out.v [--cells N] [--macros M] [--seed S]\n");
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  if (argc < 2) usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> std::string {
+      if (++i >= argc) usage();
+      return argv[i];
+    };
+    if (flag == "-i") args.input = next();
+    else if (flag == "-o") args.output = next();
+    else if (flag == "-p") args.placement = next();
+    else if (flag == "--svg") args.svg = next();
+    else if (flag == "--csv") args.csv = next();
+    else if (flag == "--fix") args.fix = next();
+    else if (flag == "--lambda") args.lambda = std::atof(next().c_str());
+    else if (flag == "--k") args.k = std::atof(next().c_str());
+    else if (flag == "--halo") args.halo = std::atof(next().c_str());
+    else if (flag == "--effort") args.effort = std::atof(next().c_str());
+    else if (flag == "--seed") args.seed = std::strtoull(next().c_str(), nullptr, 10);
+    else if (flag == "--cells") args.cells = std::atoi(next().c_str());
+    else if (flag == "--macros") args.macros = std::atoi(next().c_str());
+    else usage();
+  }
+  return args;
+}
+
+int cmd_place(const Args& args) {
+  if (args.input.empty() || args.output.empty()) usage();
+  const Design design = parse_verilog_file(args.input);
+  HiDaPOptions options;
+  options.lambda = args.lambda;
+  options.k = args.k;
+  options.macro_halo = args.halo;
+  options.seed = args.seed;
+  options.scale_effort(args.effort);
+  if (!args.fix.empty()) {
+    const DefContents fixed = parse_def_file(args.fix);
+    PlacementResult pre;
+    apply_def_placement(design, fixed, pre);
+    options.preplaced = pre.macros;
+    std::printf("honoring %zu preplaced macros from %s\n", pre.macros.size(),
+                args.fix.c_str());
+  }
+  const PlacementResult result = place_macros(design, options);
+  write_def_file(design, result, args.output);
+  std::printf("placed %zu macros in %.2f s -> %s\n", result.macros.size(),
+              result.runtime_seconds, args.output.c_str());
+  if (!args.svg.empty()) {
+    write_placement_svg(design, result, args.svg);
+    std::printf("wrote %s\n", args.svg.c_str());
+  }
+  return 0;
+}
+
+int cmd_eval(const Args& args) {
+  if (args.input.empty() || args.placement.empty()) usage();
+  const Design design = parse_verilog_file(args.input);
+  const DefContents def = parse_def_file(args.placement);
+  PlacementResult placement;
+  const std::size_t bound = apply_def_placement(design, def, placement);
+  if (bound != design.macro_count()) {
+    std::fprintf(stderr, "warning: %zu/%zu macros bound from DEF\n", bound,
+                 design.macro_count());
+  }
+  const PlacementContext context(design);
+  const Metrics m =
+      evaluate_placement(design, context.ht, context.seq, placement, EvalOptions{});
+  std::printf("WL       %.3f m\nGRC      %.2f %%\nWNS      %.1f %%\nTNS      %.0f ns\n",
+              m.wl_m, m.grc_percent, m.wns_percent, m.tns_ns);
+  return 0;
+}
+
+int cmd_flows(const Args& args) {
+  if (args.input.empty()) usage();
+  const Design design = parse_verilog_file(args.input);
+  FlowOptions options;
+  options.seed = args.seed;
+  const FlowComparison cmp = compare_flows(design, options);
+  ReportTable table({"flow", "WL(m)", "norm", "GRC%", "WNS%", "TNS(ns)", "time(s)"});
+  for (const Metrics* m : {&cmp.indeda, &cmp.hidap, &cmp.handfp}) {
+    table.add_row({m->flow, ReportTable::num(m->wl_m), ReportTable::num(m->wl_norm),
+                   ReportTable::num(m->grc_percent, 2), ReportTable::num(m->wns_percent, 1),
+                   ReportTable::num(m->tns_ns, 0), ReportTable::num(m->runtime_s, 1)});
+  }
+  table.print();
+  if (!args.csv.empty()) {
+    table.write_csv(args.csv);
+    std::printf("wrote %s\n", args.csv.c_str());
+  }
+  return 0;
+}
+
+int cmd_gen(const Args& args) {
+  if (args.output.empty()) usage();
+  CircuitSpec spec;
+  spec.name = "gen";
+  spec.target_cells = args.cells;
+  spec.macro_count = args.macros;
+  spec.seed = args.seed;
+  const Design design = generate_circuit(spec);
+  write_verilog_file(design, args.output);
+  std::printf("generated %s: %zu cells, %zu nets, %zu macros\n", args.output.c_str(),
+              design.cell_count(), design.net_count(), design.macro_count());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::Warn);
+  const Args args = parse_args(argc, argv);
+  try {
+    if (args.command == "place") return cmd_place(args);
+    if (args.command == "eval") return cmd_eval(args);
+    if (args.command == "flows") return cmd_flows(args);
+    if (args.command == "gen") return cmd_gen(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+}

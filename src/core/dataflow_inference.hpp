@@ -1,0 +1,39 @@
+#pragma once
+// Per-level dataflow inference (paper Algorithm 2, step 5).
+//
+// For a recursion level nh with blocks HCB, builds the level's Gdf over
+// the global Gseq: one movable node per block (members = Gseq elements
+// under the block subtree), one fixed node per multi-bit port group and
+// one per already-estimated macro outside nh (sect. IV-E: "the position
+// of ports and macros outside the subtree are considered a fixed point").
+// Runs the block-flow/macro-flow searches and scores the affinity matrix.
+
+#include <memory>
+#include <vector>
+
+#include "core/options.hpp"
+#include "dataflow/affinity.hpp"
+#include "dataflow/dataflow_graph.hpp"
+#include "hier/hier_tree.hpp"
+
+namespace hidap {
+
+struct LevelDataflow {
+  std::unique_ptr<DataflowGraph> gdf;  ///< nodes: blocks first, then terminals
+  AffinityMatrix affinity{0};
+  std::size_t movable_count = 0;
+  std::vector<Point> terminal_positions;  ///< gdf node movable_count + i
+};
+
+/// `macro_estimate[cell]` / `macro_has_estimate[cell]` give the current
+/// position guess of every macro cell (block centers refined during the
+/// recursion); macros outside nh without an estimate are skipped (only
+/// possible at the first level, where there is no outside).
+LevelDataflow infer_level_dataflow(const Design& design, const HierTree& ht,
+                                   const SeqGraph& seq, HtNodeId nh,
+                                   const std::vector<HtNodeId>& hcb,
+                                   const std::vector<Point>& macro_estimate,
+                                   const std::vector<bool>& macro_has_estimate,
+                                   const HiDaPOptions& options);
+
+}  // namespace hidap

@@ -1,0 +1,28 @@
+#include "core/decluster.hpp"
+
+#include <deque>
+
+namespace hidap {
+
+Declustering hierarchical_declustering(const HierTree& ht, HtNodeId nh,
+                                       double open_area, double min_area) {
+  Declustering out;
+  std::deque<HtNodeId> queue;
+  for (const HtNodeId c : ht.node(nh).children) queue.push_back(c);
+
+  while (!queue.empty()) {
+    const HtNodeId m = queue.front();
+    queue.pop_front();
+    const bool openable = !ht.node(m).children.empty();
+    if (ht.area(m) > open_area && ht.macro_count(m) == 0 && openable) {
+      for (const HtNodeId c : ht.node(m).children) queue.push_back(c);
+    } else if (ht.area(m) > min_area || ht.macro_count(m) > 0) {
+      out.hcb.push_back(m);
+    } else {
+      out.hcg.push_back(m);
+    }
+  }
+  return out;
+}
+
+}  // namespace hidap

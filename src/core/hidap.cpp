@@ -1,0 +1,72 @@
+#include "core/hidap.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "core/recursive_floorplan.hpp"
+#include "floorplan/legalizer.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace hidap {
+
+PlacementResult place_macros(const Design& design, const HiDaPOptions& options,
+                             std::optional<Rect> die_override) {
+  const PlacementContext context(design, options.seq);
+  return place_macros(design, context, options, die_override);
+}
+
+PlacementResult place_macros(const Design& design, const PlacementContext& context,
+                             const HiDaPOptions& options,
+                             std::optional<Rect> die_override) {
+  Timer timer;
+  const Rect die = die_override.value_or(Rect{0, 0, design.die().w, design.die().h});
+  if (die.area() <= 0) throw std::invalid_argument("place_macros: empty die");
+  if (design.macro_count() == 0) throw std::invalid_argument("place_macros: no macros");
+
+  RecursiveFloorplanner floorplanner(design, context.adjacency, context.ht, context.seq,
+                                     options);
+  PlacementResult result = floorplanner.run(die);
+
+  std::set<CellId> preplaced;
+  for (const MacroPlacement& m : options.preplaced) preplaced.insert(m.cell);
+  flip_macros(design, context.ht, floorplanner.region_of_node(),
+              floorplanner.region_valid(), result.macros, options.flipping_passes,
+              preplaced.empty() ? nullptr : &preplaced);
+
+  // Final legality pass: snapping and preplacement can leave small
+  // overlaps or halo violations; clean them with minimal displacement.
+  if (options.macro_halo > 0.0 ||
+      total_overlap(result.macros, options.macro_halo) > 0.0) {
+    LegalizeOptions legal;
+    legal.halo = options.macro_halo;
+    legal.fixed = preplaced;
+    legalize_macros(design, result.macros, legal);
+  }
+
+  result.runtime_seconds = timer.seconds();
+  result.flow_name = "HiDaP";
+  HIDAP_LOG_INFO("HiDaP placed %zu macros in %.2fs (lambda=%.2f)", result.macros.size(),
+                 result.runtime_seconds, options.lambda);
+  return result;
+}
+
+PlacementCheck check_placement(const Design& design, const PlacementResult& result,
+                               const Rect& die, double tolerance) {
+  PlacementCheck check;
+  check.all_macros_placed = result.macros.size() == design.macro_count();
+  check.all_inside_die = true;
+  const Rect grown{die.x - tolerance, die.y - tolerance, die.w + 2 * tolerance,
+                   die.h + 2 * tolerance};
+  for (const MacroPlacement& m : result.macros) {
+    if (!grown.contains(m.rect)) check.all_inside_die = false;
+  }
+  for (std::size_t i = 0; i < result.macros.size(); ++i) {
+    for (std::size_t j = i + 1; j < result.macros.size(); ++j) {
+      check.overlap_area += result.macros[i].rect.overlap_area(result.macros[j].rect);
+    }
+  }
+  return check;
+}
+
+}  // namespace hidap

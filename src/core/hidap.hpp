@@ -1,0 +1,58 @@
+#pragma once
+// HiDaP top flow (paper Algorithm 1): hierarchy tree, shape-curve
+// generation, recursive block floorplanning, macro flipping.
+//
+// This is the primary public entry point of the library:
+//
+//   hidap::Design design = ...;               // build or parse a netlist
+//   hidap::HiDaPOptions options;
+//   options.lambda = 0.5;
+//   hidap::PlacementResult result = hidap::place_macros(design, options);
+//
+// The die rectangle defaults to design.die(); pass an explicit rect to
+// override. When running several configurations on one design (lambda
+// sweeps, seed sweeps), build a PlacementContext once and reuse it -- the
+// netlist adjacency, hierarchy tree and Gseq extraction dominate setup
+// time on large designs.
+
+#include <optional>
+
+#include "core/macro_flipping.hpp"
+#include "core/options.hpp"
+#include "core/result.hpp"
+#include "dataflow/seq_extract.hpp"
+#include "hier/hier_tree.hpp"
+#include "netlist/netlist.hpp"
+
+namespace hidap {
+
+/// Immutable per-design analysis shared across placement runs.
+struct PlacementContext {
+  explicit PlacementContext(const Design& design, const SeqExtractOptions& seq_options = {})
+      : adjacency(design), ht(design), seq(extract_seq_graph(design, adjacency, seq_options)) {}
+
+  CellAdjacency adjacency;
+  HierTree ht;
+  SeqGraph seq;
+};
+
+/// Runs the full HiDaP flow on a design. Throws std::invalid_argument
+/// when the design has no macros or no usable die area.
+PlacementResult place_macros(const Design& design, const HiDaPOptions& options = {},
+                             std::optional<Rect> die = std::nullopt);
+
+/// Same, reusing a prebuilt context (lambda/seed sweeps).
+PlacementResult place_macros(const Design& design, const PlacementContext& context,
+                             const HiDaPOptions& options,
+                             std::optional<Rect> die = std::nullopt);
+
+/// Sanity metrics over a placement, used by tests and flows.
+struct PlacementCheck {
+  bool all_macros_placed = false;
+  bool all_inside_die = false;
+  double overlap_area = 0.0;  ///< total pairwise macro overlap (um^2)
+};
+PlacementCheck check_placement(const Design& design, const PlacementResult& result,
+                               const Rect& die, double tolerance = 1e-6);
+
+}  // namespace hidap

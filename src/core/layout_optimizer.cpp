@@ -1,0 +1,97 @@
+#include "core/layout_optimizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "floorplan/annealer.hpp"
+#include "util/log.hpp"
+
+namespace hidap {
+
+double layout_connectivity_cost(const LayoutProblem& problem,
+                                const std::vector<Rect>& rects) {
+  const AffinityMatrix& aff = *problem.affinity;
+  const std::size_t n = problem.blocks.size();
+  const std::size_t total = n + problem.terminals.size();
+  assert(aff.size() == total);
+
+  std::vector<Point> centers(total);
+  for (std::size_t i = 0; i < n; ++i) centers[i] = rects[i].center();
+  for (std::size_t t = 0; t < problem.terminals.size(); ++t) {
+    centers[n + t] = problem.terminals[t];
+  }
+  double cost = 0.0;
+  for (std::size_t i = 0; i < total; ++i) {
+    // Pairs among terminals are constant: skip j >= n when i >= n.
+    const std::size_t j_end = (i < n) ? total : n;
+    for (std::size_t j = i + 1; j < j_end; ++j) {
+      const double a = aff.at(i, j);
+      if (a > 0) cost += a * manhattan(centers[i], centers[j]);
+    }
+  }
+  return cost;
+}
+
+namespace {
+
+double evaluate(const LayoutProblem& problem, const PolishExpression& expr,
+                BudgetResult* out_result) {
+  BudgetResult res = budget_layout(expr, problem.blocks, problem.region);
+  const double penalty = budget_penalty(res.violations, problem.region.area());
+  const double conn = layout_connectivity_cost(problem, res.leaf_rects);
+  // A small base keeps the penalty gradient alive when connectivity is
+  // zero (degenerate affinity), so SA still repairs infeasible layouts.
+  const double base = 0.01 * (problem.region.w + problem.region.h);
+  if (out_result) *out_result = std::move(res);
+  return penalty * (conn + base);
+}
+
+}  // namespace
+
+LayoutSolution optimize_layout(const LayoutProblem& problem,
+                               const AnnealOptions& anneal_options) {
+  assert(problem.affinity != nullptr);
+  LayoutSolution solution;
+  const std::size_t n = problem.blocks.size();
+  if (n == 0) return solution;
+
+  PolishExpression current = PolishExpression::initial(static_cast<int>(n));
+  if (n == 1) {
+    solution.expression = current;
+    BudgetResult res;
+    solution.cost = evaluate(problem, current, &res);
+    solution.rects = std::move(res.leaf_rects);
+    solution.violations = res.violations;
+    return solution;
+  }
+
+  PolishExpression best = current;
+  PolishExpression backup = current;
+  const double initial_cost = evaluate(problem, current, nullptr);
+
+  Rng move_rng(anneal_options.seed ^ 0x7fb5d329728ea185ULL);
+  AnnealHooks hooks;
+  hooks.propose = [&]() {
+    backup = current;
+    for (int tries = 0; tries < 8; ++tries) {
+      if (current.perturb(move_rng)) break;
+    }
+    return evaluate(problem, current, nullptr);
+  };
+  hooks.reject = [&]() { current = backup; };
+  hooks.on_new_best = [&](double) { best = current; };
+
+  AnnealOptions opts = anneal_options;
+  opts.moves_per_temperature =
+      std::max(opts.moves_per_temperature, static_cast<int>(n) * 12);
+  anneal(initial_cost, opts, hooks);
+
+  BudgetResult res;
+  solution.cost = evaluate(problem, best, &res);
+  solution.expression = std::move(best);
+  solution.rects = std::move(res.leaf_rects);
+  solution.violations = res.violations;
+  return solution;
+}
+
+}  // namespace hidap

@@ -1,0 +1,193 @@
+#include "core/macro_flipping.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <unordered_map>
+
+#include "util/log.hpp"
+
+namespace hidap {
+
+namespace {
+
+// Orientation candidates sharing the footprint of `current`.
+std::array<Orientation, 4> candidates_for(Orientation current) {
+  switch (current) {
+    case Orientation::R0:
+    case Orientation::MX:
+    case Orientation::MY:
+    case Orientation::R180:
+      return {Orientation::R0, Orientation::MX, Orientation::MY, Orientation::R180};
+    default:
+      return {Orientation::R90, Orientation::MX90, Orientation::MY90, Orientation::R270};
+  }
+}
+
+class FlipEvaluator {
+ public:
+  FlipEvaluator(const Design& design, const HierTree& ht, const std::vector<Rect>& region,
+                const std::vector<bool>& region_valid,
+                std::vector<MacroPlacement>& macros)
+      : design_(design),
+        ht_(ht),
+        region_(region),
+        region_valid_(region_valid),
+        macros_(macros) {
+    for (std::size_t i = 0; i < macros.size(); ++i) {
+      placement_of_[macros[i].cell] = static_cast<int>(i);
+    }
+    // Nets attached to at least one macro, with the positions of their
+    // non-macro endpoints folded into a fixed bounding box.
+    for (std::size_t n = 0; n < design.net_count(); ++n) {
+      const Net& net = design.net(static_cast<NetId>(n));
+      bool touches_macro = false;
+      auto scan = [&](const NetPin& p) {
+        if (design.cell(p.cell).kind == CellKind::Macro) touches_macro = true;
+      };
+      if (net.driver.cell != kInvalidId) scan(net.driver);
+      for (const NetPin& p : net.sinks) scan(p);
+      if (!touches_macro) continue;
+      MacroNet mn;
+      mn.net = static_cast<NetId>(n);
+      auto classify = [&](const NetPin& p) {
+        const Cell& c = design.cell(p.cell);
+        if (c.kind == CellKind::Macro) {
+          const auto it = placement_of_.find(p.cell);
+          if (it != placement_of_.end()) {
+            mn.macro_pins.push_back({it->second, Point{p.dx, p.dy}});
+            return;
+          }
+        }
+        mn.fixed_points.push_back(endpoint_position(p));
+      };
+      if (net.driver.cell != kInvalidId) classify(net.driver);
+      for (const NetPin& p : net.sinks) classify(p);
+      if (mn.macro_pins.empty()) continue;
+      const std::size_t idx = macro_nets_.size();
+      macro_nets_.push_back(std::move(mn));
+      for (const auto& [pl, off] : macro_nets_.back().macro_pins) {
+        nets_of_macro_[pl].push_back(idx);
+      }
+    }
+  }
+
+  double total_hpwl() const {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < macro_nets_.size(); ++i) sum += net_hpwl(i);
+    return sum;
+  }
+
+  /// HPWL of the nets touching macro `pl` if it had orientation `o`.
+  double macro_hpwl(int pl, Orientation o) const {
+    const Orientation saved = macros_[static_cast<std::size_t>(pl)].orientation;
+    macros_[static_cast<std::size_t>(pl)].orientation = o;
+    double sum = 0.0;
+    const auto it = nets_of_macro_.find(pl);
+    if (it != nets_of_macro_.end()) {
+      for (const std::size_t n : it->second) sum += net_hpwl(n);
+    }
+    macros_[static_cast<std::size_t>(pl)].orientation = saved;
+    return sum;
+  }
+
+ private:
+  struct MacroNet {
+    NetId net = kInvalidId;
+    std::vector<std::pair<int, Point>> macro_pins;  // (placement idx, R0 offset)
+    std::vector<Point> fixed_points;
+  };
+
+  // Estimated position of a non-macro endpoint: its port location when
+  // fixed, else the center of the innermost placed floorplan rectangle of
+  // its hierarchy node.
+  Point endpoint_position(const NetPin& p) const {
+    const Cell& c = design_.cell(p.cell);
+    if (c.fixed_pos) return *c.fixed_pos;
+    HtNodeId walk = ht_.node_of_cell(p.cell);
+    while (true) {
+      if (region_valid_[static_cast<std::size_t>(walk)]) {
+        return region_[static_cast<std::size_t>(walk)].center();
+      }
+      if (walk == ht_.root()) return Point{};
+      walk = ht_.node(walk).parent;
+    }
+  }
+
+  Point macro_pin_position(int pl, const Point& offset) const {
+    const MacroPlacement& m = macros_[static_cast<std::size_t>(pl)];
+    // The placed rect stores the oriented footprint; recover the R0 size.
+    const bool swapped = swaps_dimensions(m.orientation);
+    const double w0 = swapped ? m.rect.h : m.rect.w;
+    const double h0 = swapped ? m.rect.w : m.rect.h;
+    const Point local = transform_pin(offset, w0, h0, m.orientation);
+    return {m.rect.x + local.x, m.rect.y + local.y};
+  }
+
+  double net_hpwl(std::size_t n) const {
+    const MacroNet& mn = macro_nets_[n];
+    double xmin = std::numeric_limits<double>::max(), xmax = -xmin;
+    double ymin = xmin, ymax = -xmin;
+    auto absorb = [&](const Point& p) {
+      xmin = std::min(xmin, p.x);
+      xmax = std::max(xmax, p.x);
+      ymin = std::min(ymin, p.y);
+      ymax = std::max(ymax, p.y);
+    };
+    for (const Point& p : mn.fixed_points) absorb(p);
+    for (const auto& [pl, off] : mn.macro_pins) absorb(macro_pin_position(pl, off));
+    if (xmax < xmin) return 0.0;
+    return (xmax - xmin) + (ymax - ymin);
+  }
+
+  const Design& design_;
+  const HierTree& ht_;
+  const std::vector<Rect>& region_;
+  const std::vector<bool>& region_valid_;
+  std::vector<MacroPlacement>& macros_;
+  std::vector<MacroNet> macro_nets_;
+  std::unordered_map<int, std::vector<std::size_t>> nets_of_macro_;
+  std::unordered_map<CellId, int> placement_of_;
+};
+
+}  // namespace
+
+FlippingStats flip_macros(const Design& design, const HierTree& ht,
+                          const std::vector<Rect>& region,
+                          const std::vector<bool>& region_valid,
+                          std::vector<MacroPlacement>& macros, int max_passes,
+                          const std::set<CellId>* skip) {
+  FlippingStats stats;
+  FlipEvaluator eval(design, ht, region, region_valid, macros);
+  stats.hpwl_before = eval.total_hpwl();
+  for (int pass = 0; pass < max_passes; ++pass) {
+    ++stats.passes;
+    int flips_this_pass = 0;
+    for (std::size_t i = 0; i < macros.size(); ++i) {
+      if (skip && skip->count(macros[i].cell)) continue;
+      const Orientation current = macros[i].orientation;
+      Orientation best = current;
+      double best_cost = eval.macro_hpwl(static_cast<int>(i), current);
+      for (const Orientation o : candidates_for(current)) {
+        if (o == current) continue;
+        const double cost = eval.macro_hpwl(static_cast<int>(i), o);
+        if (cost + 1e-9 < best_cost) {
+          best_cost = cost;
+          best = o;
+        }
+      }
+      if (best != current) {
+        macros[i].orientation = best;
+        ++flips_this_pass;
+      }
+    }
+    stats.flips += flips_this_pass;
+    if (flips_this_pass == 0) break;
+  }
+  stats.hpwl_after = eval.total_hpwl();
+  HIDAP_LOG_DEBUG("flipping: %d flips in %d passes, macro-net HPWL %.3g -> %.3g",
+                  stats.flips, stats.passes, stats.hpwl_before, stats.hpwl_after);
+  return stats;
+}
+
+}  // namespace hidap

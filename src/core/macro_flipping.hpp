@@ -1,0 +1,38 @@
+#pragma once
+// Macro flipping post-process (paper Algorithm 1, step "macro_flipping").
+//
+// For each placed macro, the footprint-preserving orientations (identity,
+// mirror X, mirror Y, 180 degrees -- applied on top of the rotation group
+// chosen during placement) are evaluated by the HPWL of the nets attached
+// to the macro's pins; the best is kept. Standard-cell endpoints are
+// approximated by the center of the innermost floorplan rectangle of
+// their hierarchy node, which is exactly the "macro side dataflow" signal
+// the paper exploits: flipping pays off when a macro's data pins face the
+// logic they talk to.
+
+#include <set>
+#include <vector>
+
+#include "core/result.hpp"
+#include "hier/hier_tree.hpp"
+#include "netlist/netlist.hpp"
+
+namespace hidap {
+
+struct FlippingStats {
+  int flips = 0;
+  int passes = 0;
+  double hpwl_before = 0.0;
+  double hpwl_after = 0.0;
+};
+
+/// Mutates `macros` orientations in place. `region`/`region_valid` come
+/// from RecursiveFloorplanner::region_of_node(). Macros in `skip` keep
+/// their orientation (preplaced by the user).
+FlippingStats flip_macros(const Design& design, const HierTree& ht,
+                          const std::vector<Rect>& region,
+                          const std::vector<bool>& region_valid,
+                          std::vector<MacroPlacement>& macros, int max_passes = 4,
+                          const std::set<CellId>* skip = nullptr);
+
+}  // namespace hidap

@@ -1,0 +1,20 @@
+#include "core/options.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hidap {
+
+void HiDaPOptions::scale_effort(double factor) {
+  const auto scale = [factor](AnnealOptions& a) {
+    a.moves_per_temperature =
+        std::max(20, static_cast<int>(std::lround(a.moves_per_temperature * factor)));
+    // Higher effort also cools slower (finer schedule).
+    const double t = std::clamp(factor, 0.25, 4.0);
+    a.cooling = std::clamp(1.0 - (1.0 - a.cooling) / t, 0.5, 0.99);
+  };
+  scale(layout_anneal);
+  scale(shape_fp.anneal);
+}
+
+}  // namespace hidap

@@ -1,0 +1,58 @@
+#pragma once
+// HiDaP configuration. Defaults follow the paper where it states values
+// (min_area 40% / open_area 1% of area(nh), lambda in {0.2, 0.5, 0.8}).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/result.hpp"
+#include "dataflow/seq_extract.hpp"
+#include "floorplan/annealer.hpp"
+#include "floorplan/area_floorplanner.hpp"
+
+namespace hidap {
+
+struct HiDaPOptions {
+  // Dataflow affinity (sect. IV-D).
+  double lambda = 0.5;  ///< block-flow vs macro-flow balance
+  double k = 2.0;       ///< latency decay exponent in score(h, k)
+  int max_latency = 24; ///< BFS horizon (register hops)
+
+  // Gseq extraction.
+  SeqExtractOptions seq;
+
+  // Hierarchical declustering (sect. IV-B): fractions of area(nh).
+  double min_area_frac = 0.40;
+  double open_area_frac = 0.01;
+
+  // Layout generation SA (sect. IV-E).
+  AnnealOptions layout_anneal;
+
+  // Shape-curve generation SA (sect. IV-A).
+  AreaFloorplanOptions shape_fp;
+
+  // Macro flipping post-process: maximum improvement passes.
+  int flipping_passes = 4;
+
+  // Keep-out margin around every macro (um). Honored by shape curves,
+  // corner snapping and the final legalization pass; standard industrial
+  // knob for router/CTS access around memories.
+  double macro_halo = 0.0;
+
+  // Macros preplaced by the engineer: they are not moved, act as fixed
+  // dataflow terminals, and are copied verbatim into the result. This is
+  // the "starting point for physical design iterations" workflow of the
+  // paper's conclusions.
+  std::vector<MacroPlacement> preplaced;
+
+  std::uint64_t seed = 1;
+
+  /// Scales SA effort (moves per temperature, cooling) by a factor;
+  /// benches use ~0.3-1, the handFP proxy ~3.
+  void scale_effort(double factor);
+
+  /// Paper's HiDaP flow runs lambda in {0.2, 0.5, 0.8} and keeps the best.
+  static constexpr double kLambdaSweep[3] = {0.2, 0.5, 0.8};
+};
+
+}  // namespace hidap

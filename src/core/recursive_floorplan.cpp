@@ -1,0 +1,262 @@
+#include "core/recursive_floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/decluster.hpp"
+#include "core/layout_optimizer.hpp"
+#include "core/target_area.hpp"
+#include "util/log.hpp"
+
+namespace hidap {
+
+namespace {
+constexpr int kMaxRecursionDepth = 64;
+}
+
+RecursiveFloorplanner::RecursiveFloorplanner(const Design& design,
+                                             const CellAdjacency& adjacency,
+                                             const HierTree& ht, const SeqGraph& seq,
+                                             const HiDaPOptions& options)
+    : design_(design), adjacency_(adjacency), ht_(ht), seq_(seq), options_(options) {
+  shape_curves_.resize(ht.size());
+  macro_estimate_.assign(design.cell_count(), Point{});
+  macro_has_estimate_.assign(design.cell_count(), false);
+  region_.assign(ht.size(), Rect{});
+  region_valid_.assign(ht.size(), false);
+}
+
+void RecursiveFloorplanner::generate_shape_curves() {
+  // HT ids are ordered parents-before-children (hierarchy nodes in BFS
+  // order, macro leaves appended last), so a descending sweep is
+  // bottom-up.
+  for (std::size_t i = ht_.size(); i-- > 0;) {
+    const HtNodeId id = static_cast<HtNodeId>(i);
+    const HtNode& node = ht_.node(id);
+    if (node.subtree_macros == 0) continue;
+    if (node.is_macro_leaf()) {
+      const MacroDef& def = design_.macro_def_of(node.macro_cell);
+      // The halo inflates the footprint the floorplanner must reserve.
+      const double halo2 = 2.0 * options_.macro_halo;
+      shape_curves_[i] =
+          ShapeCurve::for_rect(def.w + halo2, def.h + halo2, /*rotate=*/true);
+      continue;
+    }
+    std::vector<ShapeCurve> child_curves;
+    for (const HtNodeId c : node.children) {
+      if (ht_.macro_count(c) > 0) {
+        child_curves.push_back(shape_curves_[static_cast<std::size_t>(c)]);
+      }
+    }
+    if (child_curves.empty()) continue;  // defensive; cannot happen
+    if (child_curves.size() == 1) {
+      shape_curves_[i] = std::move(child_curves.front());
+      continue;
+    }
+    AreaFloorplanOptions fp = options_.shape_fp;
+    fp.anneal.seed = options_.seed * 0x9e3779b9ULL + i;
+    shape_curves_[i] = pack_shape_curve(child_curves, fp);
+  }
+  curves_ready_ = true;
+}
+
+PlacementResult RecursiveFloorplanner::run(const Rect& die) {
+  if (!curves_ready_) generate_shape_curves();
+  result_ = PlacementResult{};
+  preplaced_.clear();
+  for (const MacroPlacement& m : options_.preplaced) {
+    preplaced_.insert(m.cell);
+    result_.macros.push_back(m);
+    macro_estimate_[static_cast<std::size_t>(m.cell)] = m.rect.center();
+    macro_has_estimate_[static_cast<std::size_t>(m.cell)] = true;
+  }
+  region_[static_cast<std::size_t>(ht_.root())] = die;
+  region_valid_[static_cast<std::size_t>(ht_.root())] = true;
+  if (unfixed_macro_count(ht_.root()) > 0) {
+    floorplan_level(ht_.root(), die, 0);
+  }
+  return std::move(result_);
+}
+
+int RecursiveFloorplanner::unfixed_macro_count(HtNodeId node) const {
+  if (preplaced_.empty()) return ht_.macro_count(node);
+  int count = 0;
+  for (const CellId m : ht_.macros_under(node)) count += !preplaced_.count(m);
+  return count;
+}
+
+void RecursiveFloorplanner::update_estimates(HtNodeId block, const Point& center) {
+  for (const CellId macro : ht_.macros_under(block)) {
+    if (preplaced_.count(macro)) continue;  // engineer-placed: keep exact
+    macro_estimate_[static_cast<std::size_t>(macro)] = center;
+    macro_has_estimate_[static_cast<std::size_t>(macro)] = true;
+  }
+}
+
+void RecursiveFloorplanner::floorplan_level(HtNodeId nh, const Rect& region, int depth) {
+  region_[static_cast<std::size_t>(nh)] = region;
+  region_valid_[static_cast<std::size_t>(nh)] = true;
+  if (depth > kMaxRecursionDepth) {
+    HIDAP_LOG_WARN("recursion depth cap at %s; grid fallback", ht_.path(nh).c_str());
+    fallback_grid_place(nh, region);
+    return;
+  }
+
+  // --- Algorithm 2, step 3: hierarchical declustering.
+  const double area_nh = ht_.area(nh);
+  const Declustering dec = hierarchical_declustering(
+      ht_, nh, options_.open_area_frac * area_nh, options_.min_area_frac * area_nh);
+  if (dec.hcb.empty()) {
+    HIDAP_LOG_WARN("no blocks at level %s", ht_.path(nh).c_str());
+    fallback_grid_place(nh, region);
+    return;
+  }
+
+  // --- step 4: target area assignment.
+  const TargetAreaResult areas =
+      assign_target_areas(design_, adjacency_, ht_, nh, dec.hcb);
+
+  // --- step 5: dataflow inference.
+  const LevelDataflow flow =
+      infer_level_dataflow(design_, ht_, seq_, nh, dec.hcb, macro_estimate_,
+                           macro_has_estimate_, options_);
+
+  // --- step 6: layout generation.
+  LayoutProblem problem;
+  problem.region = region;
+  problem.terminals = flow.terminal_positions;
+  problem.affinity = &flow.affinity;
+  problem.blocks.reserve(dec.hcb.size());
+  for (std::size_t b = 0; b < dec.hcb.size(); ++b) {
+    BudgetBlock block;
+    if (ht_.macro_count(dec.hcb[b]) > 0) {
+      block.gamma = shape_curves_[static_cast<std::size_t>(dec.hcb[b])];
+    }
+    block.am = areas.minimum_area[b];
+    block.at = areas.target_area[b];
+    problem.blocks.push_back(std::move(block));
+  }
+  AnnealOptions anneal = options_.layout_anneal;
+  anneal.seed = options_.seed * 0xd1342543de82ef95ULL + (++level_counter_);
+  const LayoutSolution layout = optimize_layout(problem, anneal);
+
+  // Snapshot for Fig. 1-style visualization.
+  LevelSnapshot snap;
+  snap.level = nh;
+  snap.region = region;
+  snap.blocks = dec.hcb;
+  snap.block_rects = layout.rects;
+  snap.depth = depth;
+  for (const HtNodeId b : dec.hcb) snap.block_macro_counts.push_back(ht_.macro_count(b));
+  result_.snapshots.push_back(std::move(snap));
+
+  // First pass: refresh position estimates so siblings and deeper levels
+  // see each other's centers.
+  for (std::size_t b = 0; b < dec.hcb.size(); ++b) {
+    region_[static_cast<std::size_t>(dec.hcb[b])] = layout.rects[b];
+    region_valid_[static_cast<std::size_t>(dec.hcb[b])] = true;
+    if (unfixed_macro_count(dec.hcb[b]) > 0) {
+      update_estimates(dec.hcb[b], layout.rects[b].center());
+    }
+  }
+
+  // --- steps 7-11: recurse / fix.
+  for (std::size_t b = 0; b < dec.hcb.size(); ++b) {
+    const HtNodeId block = dec.hcb[b];
+    const int macros = unfixed_macro_count(block);
+    if (macros > 1) {
+      floorplan_level(block, layout.rects[b], depth + 1);
+    } else if (macros == 1) {
+      // Attraction point: affinity-weighted centroid of the other Gdf
+      // nodes (movable centers + fixed terminals).
+      const AffinityMatrix& aff = flow.affinity;
+      Point attract{region.center()};
+      double weight = 0.0, ax = 0.0, ay = 0.0;
+      for (std::size_t j = 0; j < aff.size(); ++j) {
+        if (j == b) continue;
+        const double a = aff.at(b, j);
+        if (a <= 0) continue;
+        const Point pj = (j < dec.hcb.size()) ? layout.rects[j].center()
+                                              : flow.terminal_positions[j - dec.hcb.size()];
+        ax += a * pj.x;
+        ay += a * pj.y;
+        weight += a;
+      }
+      if (weight > 0) attract = Point{ax / weight, ay / weight};
+      fix_single_macro(block, layout.rects[b], attract);
+    }
+  }
+}
+
+// Places the block's only macro into the corner of `rect` closest to the
+// attraction point (Algorithm 2, line 11: "fix position in the corner of
+// the available area that minimizes wirelength").
+void RecursiveFloorplanner::fix_single_macro(HtNodeId block, const Rect& rect,
+                                             const Point& attract) {
+  CellId cell = kInvalidId;
+  for (const CellId m : ht_.macros_under(block)) {
+    if (!preplaced_.count(m)) {
+      cell = m;
+      break;
+    }
+  }
+  if (cell == kInvalidId) return;  // everything here was preplaced
+  const MacroDef& def = design_.macro_def_of(cell);
+  const double halo = options_.macro_halo;
+
+  struct Candidate {
+    Rect r;
+    Orientation o;
+    double cost;
+  };
+  std::vector<Candidate> candidates;
+  for (const Orientation o : {Orientation::R0, Orientation::R90}) {
+    const Point size = oriented_size(def.w, def.h, o);
+    // Clamp into the rect (inset by the halo) even when it overflows;
+    // the budget layout penalizes the overflow case already.
+    const double w = size.x, h = size.y;
+    const double x0 = rect.x + halo, y0 = rect.y + halo;
+    const double x1 = std::max(x0, rect.xmax() - halo - w);
+    const double y1 = std::max(y0, rect.ymax() - halo - h);
+    const bool fits = w + 2 * halo <= rect.w + 1e-9 && h + 2 * halo <= rect.h + 1e-9;
+    for (const auto& [cx, cy] : {std::pair{x0, y0}, {x1, y0}, {x0, y1}, {x1, y1}}) {
+      const Rect r{cx, cy, w, h};
+      double cost = manhattan(r.center(), attract);
+      if (!fits) cost += (w * h);  // discourage non-fitting rotation
+      candidates.push_back({r, o, cost});
+    }
+  }
+  const auto best = std::min_element(
+      candidates.begin(), candidates.end(),
+      [](const Candidate& a, const Candidate& b) { return a.cost < b.cost; });
+  result_.macros.push_back(MacroPlacement{cell, best->r, best->o});
+  macro_estimate_[static_cast<std::size_t>(cell)] = best->r.center();
+  macro_has_estimate_[static_cast<std::size_t>(cell)] = true;
+  region_[static_cast<std::size_t>(block)] = best->r;
+  region_valid_[static_cast<std::size_t>(block)] = true;
+}
+
+// Defensive fallback: rows of macros across the region. Only reached on
+// degenerate hierarchies (see the depth cap).
+void RecursiveFloorplanner::fallback_grid_place(HtNodeId nh, const Rect& region) {
+  std::vector<CellId> macros;
+  for (const CellId m : ht_.macros_under(nh)) {
+    if (!preplaced_.count(m)) macros.push_back(m);
+  }
+  if (macros.empty()) return;
+  const int cols = std::max(1, static_cast<int>(std::ceil(std::sqrt(macros.size()))));
+  const int rows = static_cast<int>((macros.size() + cols - 1) / cols);
+  for (std::size_t i = 0; i < macros.size(); ++i) {
+    const MacroDef& def = design_.macro_def_of(macros[i]);
+    const int r = static_cast<int>(i) / cols;
+    const int c = static_cast<int>(i) % cols;
+    const double x = region.x + region.w * c / cols;
+    const double y = region.y + region.h * r / rows;
+    result_.macros.push_back(
+        MacroPlacement{macros[i], Rect{x, y, def.w, def.h}, Orientation::R0});
+    macro_estimate_[static_cast<std::size_t>(macros[i])] = Point{x + def.w / 2, y + def.h / 2};
+    macro_has_estimate_[static_cast<std::size_t>(macros[i])] = true;
+  }
+}
+
+}  // namespace hidap

@@ -1,0 +1,69 @@
+#pragma once
+// Recursive block floorplanning (paper Algorithms 1-2, Fig. 1).
+//
+// The multi-level /\-style flow: at each level the subtree of nh is
+// declustered into blocks, glue area is folded into block target areas,
+// dataflow affinity is inferred, and the slicing-tree annealer assigns a
+// rectangle to every block. Blocks with more than one macro recurse into
+// their rectangle; single-macro blocks pin their macro into the corner of
+// the rectangle that minimizes attraction distance.
+
+#include <set>
+#include <vector>
+
+#include "core/dataflow_inference.hpp"
+#include "core/options.hpp"
+#include "core/result.hpp"
+#include "dataflow/seq_graph.hpp"
+#include "geometry/shape_curve.hpp"
+#include "hier/hier_tree.hpp"
+
+namespace hidap {
+
+class RecursiveFloorplanner {
+ public:
+  RecursiveFloorplanner(const Design& design, const CellAdjacency& adjacency,
+                        const HierTree& ht, const SeqGraph& seq,
+                        const HiDaPOptions& options);
+
+  /// Runs shape-curve generation followed by the recursion over the die.
+  PlacementResult run(const Rect& die);
+
+  /// S_Gamma: per-HT-node macro shape curves (valid after run() or
+  /// generate_shape_curves()).
+  const std::vector<ShapeCurve>& shape_curves() const { return shape_curves_; }
+  void generate_shape_curves();
+
+  /// Rectangle assigned to each HT node during the recursion (empty
+  /// entries for nodes never floorplanned). Used by macro flipping to
+  /// estimate standard-cell positions.
+  const std::vector<Rect>& region_of_node() const { return region_; }
+  const std::vector<bool>& region_valid() const { return region_valid_; }
+
+ private:
+  void floorplan_level(HtNodeId nh, const Rect& region, int depth);
+  void fix_single_macro(HtNodeId block, const Rect& rect, const Point& attract);
+  void update_estimates(HtNodeId block, const Point& center);
+  void fallback_grid_place(HtNodeId nh, const Rect& region);
+  /// Macros below `node` not preplaced by the user (Algorithm 2's
+  /// recursion predicate counts only macros HiDaP still has to place).
+  int unfixed_macro_count(HtNodeId node) const;
+
+  const Design& design_;
+  const CellAdjacency& adjacency_;
+  const HierTree& ht_;
+  const SeqGraph& seq_;
+  HiDaPOptions options_;
+
+  std::vector<ShapeCurve> shape_curves_;
+  std::set<CellId> preplaced_;              // engineer-fixed macros
+  std::vector<Point> macro_estimate_;       // per CellId
+  std::vector<bool> macro_has_estimate_;    // per CellId
+  std::vector<Rect> region_;                // per HtNodeId
+  std::vector<bool> region_valid_;          // per HtNodeId
+  PlacementResult result_;
+  std::uint64_t level_counter_ = 0;
+  bool curves_ready_ = false;
+};
+
+}  // namespace hidap

@@ -1,0 +1,46 @@
+#pragma once
+// Output types of the macro placement flows.
+
+#include <string>
+#include <vector>
+
+#include "geometry/geometry.hpp"
+#include "geometry/orientation.hpp"
+#include "hier/hier_tree.hpp"
+#include "netlist/netlist.hpp"
+
+namespace hidap {
+
+struct MacroPlacement {
+  CellId cell = kInvalidId;
+  Rect rect;                               ///< placed footprint on the die
+  Orientation orientation = Orientation::R0;
+  Point center() const { return rect.center(); }
+};
+
+/// Rectangles assigned to the blocks of one recursion level -- the data
+/// behind the paper's Fig. 1 evolution snapshots.
+struct LevelSnapshot {
+  HtNodeId level = kInvalidId;  ///< the nh being floorplanned
+  Rect region;
+  std::vector<HtNodeId> blocks;
+  std::vector<Rect> block_rects;
+  std::vector<int> block_macro_counts;
+  int depth = 0;  ///< recursion depth (root = 0)
+};
+
+struct PlacementResult {
+  std::vector<MacroPlacement> macros;
+  std::vector<LevelSnapshot> snapshots;
+  double runtime_seconds = 0.0;
+  std::string flow_name;
+
+  const MacroPlacement* find(CellId cell) const {
+    for (const MacroPlacement& m : macros) {
+      if (m.cell == cell) return &m;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace hidap

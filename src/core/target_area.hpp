@@ -1,0 +1,30 @@
+#pragma once
+// Target-area assignment (paper sect. IV-C / Fig. 6).
+//
+// A multi-source BFS over the bit-level netlist starts simultaneously
+// from every cell inside an HCB block and claims the glue cells (anything
+// under nh outside the blocks) for the block that reaches them first.
+// After the sweep the sum of block target areas covers the whole area of
+// the floorplanning instance.
+
+#include <vector>
+
+#include "hier/hier_tree.hpp"
+#include "netlist/netlist.hpp"
+
+namespace hidap {
+
+struct TargetAreaResult {
+  std::vector<double> target_area;    ///< per HCB block: am + claimed glue area
+  std::vector<double> minimum_area;   ///< per HCB block: am (subtree area)
+  /// Per cell: index into hcb of the claiming block, -1 for cells outside
+  /// nh or inside a block already.
+  std::vector<int> glue_owner;
+  double unassigned_area = 0.0;       ///< glue unreachable from any block
+};
+
+TargetAreaResult assign_target_areas(const Design& design, const CellAdjacency& adjacency,
+                                     const HierTree& ht, HtNodeId nh,
+                                     const std::vector<HtNodeId>& hcb);
+
+}  // namespace hidap

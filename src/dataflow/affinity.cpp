@@ -1,0 +1,31 @@
+#include "dataflow/affinity.hpp"
+
+#include <algorithm>
+
+namespace hidap {
+
+double AffinityMatrix::max_value() const {
+  double mx = 0.0;
+  for (const double v : m_) mx = std::max(mx, v);
+  return mx;
+}
+
+void AffinityMatrix::normalize_max() {
+  const double mx = max_value();
+  if (mx <= 0.0) return;
+  for (double& v : m_) v /= mx;
+}
+
+AffinityMatrix compute_affinity(const DataflowGraph& gdf, const AffinityOptions& options) {
+  AffinityMatrix m(gdf.node_count());
+  for (const DfEdge& e : gdf.edges()) {
+    const double score = options.lambda * e.block_flow.score(options.k) +
+                         (1.0 - options.lambda) * e.macro_flow.score(options.k);
+    if (score <= 0.0) continue;
+    m.accumulate(static_cast<std::size_t>(e.from), static_cast<std::size_t>(e.to), score);
+  }
+  if (options.normalize) m.normalize_max();
+  return m;
+}
+
+}  // namespace hidap

@@ -1,0 +1,48 @@
+#pragma once
+// Dataflow affinity matrix Maff (paper sect. IV-D).
+//
+// Edge score = lambda * score(E^b, k) + (1 - lambda) * score(E^m, k);
+// the matrix is symmetrized (i->j and j->i flows add up) and normalized
+// so the largest entry is 1, which keeps the annealer's cost scale stable
+// across designs.
+
+#include <vector>
+
+#include "dataflow/dataflow_graph.hpp"
+
+namespace hidap {
+
+struct AffinityOptions {
+  double lambda = 0.5;  ///< block-flow vs macro-flow balance (paper lambda)
+  double k = 2.0;       ///< latency decay exponent (paper k)
+  bool normalize = true;
+};
+
+/// Dense symmetric matrix of pairwise affinities between Gdf nodes.
+class AffinityMatrix {
+ public:
+  explicit AffinityMatrix(std::size_t n) : n_(n), m_(n * n, 0.0) {}
+
+  std::size_t size() const { return n_; }
+  double at(std::size_t i, std::size_t j) const { return m_[i * n_ + j]; }
+  void set(std::size_t i, std::size_t j, double v) {
+    m_[i * n_ + j] = v;
+    m_[j * n_ + i] = v;
+  }
+  void accumulate(std::size_t i, std::size_t j, double v) {
+    m_[i * n_ + j] += v;
+    if (i != j) m_[j * n_ + i] += v;
+  }
+  double max_value() const;
+  /// Scales so the maximum entry becomes 1 (no-op on an all-zero matrix).
+  void normalize_max();
+
+ private:
+  std::size_t n_;
+  std::vector<double> m_;
+};
+
+AffinityMatrix compute_affinity(const DataflowGraph& gdf,
+                                const AffinityOptions& options = {});
+
+}  // namespace hidap

@@ -1,0 +1,101 @@
+#pragma once
+// Dataflow graph Gdf = (Vdf, Edf) (paper sect. II-C / IV-D, Fig. 7).
+//
+// Nodes are floorplanning blocks, multi-bit port groups and groups of
+// already-fixed macros (the "fixed point" terminals of sect. IV-E).
+// Every edge keeps two latency histograms: block flow (paths through glue
+// logic only) and macro flow (macro-to-macro paths that may cross any
+// non-macro sequential element). Bins are path latency in register hops,
+// heights are bit counts.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dataflow/seq_graph.hpp"
+#include "geometry/geometry.hpp"
+
+namespace hidap {
+
+using DfNodeId = std::int32_t;
+
+/// Latency histogram: bin `l` (1-based) holds the number of bits whose
+/// shortest path between the two endpoints crosses `l` sequential hops.
+class LatencyHistogram {
+ public:
+  void add(int latency, double bits);
+  /// score(h, k) = sum_i bits_i / latency_i^k  (paper sect. IV-D).
+  double score(double k) const;
+  bool empty() const { return bits_.empty(); }
+  double total_bits() const;
+  int max_latency() const { return static_cast<int>(bits_.size()); }
+  double bits_at(int latency) const;  ///< 1-based
+  bool operator==(const LatencyHistogram&) const = default;
+
+ private:
+  std::vector<double> bits_;  // index latency-1
+};
+
+enum class DfKind : std::uint8_t { Block, PortGroup, FixedMacros };
+
+struct DfNode {
+  DfKind kind = DfKind::Block;
+  std::string name;
+  std::vector<SeqNodeId> members;  ///< Gseq nodes belonging to this Gdf node
+  bool fixed = false;              ///< terminals: ports, already-placed macros
+  Point position;                  ///< meaningful when fixed
+};
+
+struct DfEdge {
+  DfNodeId from = kInvalidId;
+  DfNodeId to = kInvalidId;
+  LatencyHistogram block_flow;  ///< E^b_df
+  LatencyHistogram macro_flow;  ///< E^m_df
+};
+
+struct DataflowOptions {
+  int max_latency = 24;  ///< BFS horizon in register hops
+};
+
+class DataflowGraph {
+ public:
+  explicit DataflowGraph(const SeqGraph& seq);
+
+  DfNodeId add_node(DfNode node);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const DfNode& node(DfNodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  const std::vector<DfNode>& nodes() const { return nodes_; }
+  const std::vector<DfEdge>& edges() const { return edges_; }
+  const SeqGraph& seq() const { return *seq_; }
+
+  /// Gdf node a Gseq node belongs to, kInvalidId = glue.
+  DfNodeId df_of_seq(SeqNodeId n) const {
+    return seq_to_df_[static_cast<std::size_t>(n)];
+  }
+
+  /// Runs the block-flow and macro-flow searches over all nodes. Call
+  /// once after the last add_node.
+  void infer_edges(const DataflowOptions& options = {});
+
+  /// Edge lookup (nullptr when absent). Direction matters.
+  const DfEdge* find_edge(DfNodeId from, DfNodeId to) const;
+
+ private:
+  LatencyHistogram& edge_histogram(DfNodeId from, DfNodeId to, bool macro_flow);
+  void block_flow_from(DfNodeId src, const DataflowOptions& options);
+  void macro_flow_from(DfNodeId src, const DataflowOptions& options);
+
+  const SeqGraph* seq_;
+  std::vector<DfNode> nodes_;
+  std::vector<DfEdge> edges_;
+  std::vector<DfNodeId> seq_to_df_;
+  std::unordered_map<std::uint64_t, std::size_t> edge_index_;
+
+  // BFS scratch (epoch-stamped to avoid O(V) clears per source).
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace hidap

@@ -1,0 +1,101 @@
+#include "eval/flows.hpp"
+
+#include <limits>
+
+#include "baseline/wall_packer.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace hidap {
+
+PlacementResult run_indeda_flow(const Design& design, const PlacementContext& context,
+                                const FlowOptions& options) {
+  WallPackOptions wp;
+  wp.anneal = options.hidap.layout_anneal;
+  wp.anneal.seed = options.seed ^ 0x1aed;
+  wp.anneal.moves_per_temperature = static_cast<int>(
+      wp.anneal.moves_per_temperature * options.indeda_effort);
+  PlacementResult result = place_macros_walls(design, context.ht, context.seq, wp);
+  // Industrial floorplanners orient macros too: flip with die-level
+  // position estimates for the standard cells.
+  std::vector<Rect> region(context.ht.size());
+  std::vector<bool> region_valid(context.ht.size(), false);
+  region[static_cast<std::size_t>(context.ht.root())] =
+      Rect{0, 0, design.die().w, design.die().h};
+  region_valid[static_cast<std::size_t>(context.ht.root())] = true;
+  flip_macros(design, context.ht, region, region_valid, result.macros,
+              options.hidap.flipping_passes);
+  return result;
+}
+
+PlacementResult run_hidap_flow(const Design& design, const PlacementContext& context,
+                               const FlowOptions& options) {
+  Timer timer;
+  PlacementResult best;
+  double best_wl = std::numeric_limits<double>::max();
+  for (const double lambda : HiDaPOptions::kLambdaSweep) {
+    HiDaPOptions opts = options.hidap;
+    opts.lambda = lambda;
+    opts.seed = options.seed;
+    PlacementResult result = place_macros(design, context, opts);
+    Metrics m = evaluate_placement(design, context.ht, context.seq, result, options.eval);
+    HIDAP_LOG_INFO("HiDaP lambda=%.1f: WL=%.3f m", lambda, m.wl_m);
+    if (m.wl_m < best_wl) {
+      best_wl = m.wl_m;
+      best = std::move(result);
+    }
+  }
+  best.runtime_seconds = timer.seconds();
+  best.flow_name = "HiDaP";
+  return best;
+}
+
+PlacementResult run_handfp_flow(const Design& design, const PlacementContext& context,
+                                const FlowOptions& options) {
+  Timer timer;
+  PlacementResult best;
+  double best_wl = std::numeric_limits<double>::max();
+  for (int s = 0; s < options.handfp_seeds; ++s) {
+    for (const double lambda : HiDaPOptions::kLambdaSweep) {
+      HiDaPOptions opts = options.hidap;
+      opts.lambda = lambda;
+      // Seed 0 re-runs the tool's own configuration at expert effort (the
+      // engineer starts from the tool output); later seeds explore.
+      opts.seed = s == 0 ? options.seed
+                         : options.seed * 7919 + static_cast<std::uint64_t>(s) * 104729 + 13;
+      opts.scale_effort(options.handfp_effort);
+      PlacementResult result = place_macros(design, context, opts);
+      const Metrics m =
+          evaluate_placement(design, context.ht, context.seq, result, options.eval);
+      if (m.wl_m < best_wl) {
+        best_wl = m.wl_m;
+        best = std::move(result);
+      }
+    }
+  }
+  best.runtime_seconds = timer.seconds();
+  best.flow_name = "handFP";
+  return best;
+}
+
+FlowComparison compare_flows(const Design& design, const FlowOptions& options) {
+  const PlacementContext context(design, options.hidap.seq);
+  FlowComparison cmp;
+
+  const PlacementResult indeda = run_indeda_flow(design, context, options);
+  cmp.indeda = evaluate_placement(design, context.ht, context.seq, indeda, options.eval);
+
+  const PlacementResult hidap = run_hidap_flow(design, context, options);
+  cmp.hidap = evaluate_placement(design, context.ht, context.seq, hidap, options.eval);
+
+  const PlacementResult handfp = run_handfp_flow(design, context, options);
+  cmp.handfp = evaluate_placement(design, context.ht, context.seq, handfp, options.eval);
+
+  const double ref = cmp.handfp.wl_m > 0 ? cmp.handfp.wl_m : 1.0;
+  cmp.indeda.wl_norm = cmp.indeda.wl_m / ref;
+  cmp.hidap.wl_norm = cmp.hidap.wl_m / ref;
+  cmp.handfp.wl_norm = 1.0;
+  return cmp;
+}
+
+}  // namespace hidap

@@ -1,0 +1,68 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace hidap {
+
+ReportTable::ReportTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void ReportTable::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ReportTable::num(double value, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+void ReportTable::print(std::FILE* out) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::fprintf(out, "%-*s%s", static_cast<int>(width[c]), cells[c].c_str(),
+                   c + 1 < columns_.size() ? "  " : "\n");
+    }
+  };
+  line(columns_);
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w + 2;
+  for (std::size_t i = 0; i + 2 < total; ++i) std::fputc('-', out);
+  std::fputc('\n', out);
+  for (const auto& row : rows_) line(row);
+}
+
+void ReportTable::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  const auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string quoted = "\"";
+    for (const char c : s) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c ? "," : "") << escape(cells[c]);
+    }
+    out << '\n';
+  };
+  line(columns_);
+  for (const auto& row : rows_) line(row);
+}
+
+}  // namespace hidap

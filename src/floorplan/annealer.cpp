@@ -1,0 +1,72 @@
+#include "floorplan/annealer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace hidap {
+
+AnnealStats anneal(double initial_cost, const AnnealOptions& options,
+                   const AnnealHooks& hooks) {
+  Rng rng(options.seed);
+  AnnealStats stats;
+  stats.initial_cost = initial_cost;
+  stats.best_cost = initial_cost;
+
+  double current = initial_cost;
+
+  // --- temperature calibration: average uphill magnitude of random moves.
+  double uphill_sum = 0.0;
+  int uphill_count = 0;
+  for (int i = 0; i < options.calibration_moves; ++i) {
+    const double cost = hooks.propose();
+    const double delta = cost - current;
+    if (delta > 0) {
+      uphill_sum += delta;
+      ++uphill_count;
+    }
+    // Accept everything during calibration (random walk), tracking best.
+    current = cost;
+    if (current < stats.best_cost) {
+      stats.best_cost = current;
+      if (hooks.on_new_best) hooks.on_new_best(current);
+    }
+  }
+  const double avg_uphill = uphill_count > 0 ? uphill_sum / uphill_count
+                                             : std::max(1e-12, std::abs(initial_cost) * 0.05);
+  const double t0 = -avg_uphill / std::log(options.initial_acceptance);
+  double temperature = std::max(t0, 1e-12);
+  const double t_frozen = temperature * options.frozen_temperature_ratio;
+
+  int stagnant = 0;
+  while (temperature > t_frozen && stagnant < options.max_stagnant_temperatures) {
+    bool improved = false;
+    for (int m = 0; m < options.moves_per_temperature; ++m) {
+      ++stats.moves_attempted;
+      const double cost = hooks.propose();
+      const double delta = cost - current;
+      const bool accept = delta <= 0 || rng.next_double() < std::exp(-delta / temperature);
+      if (accept) {
+        ++stats.moves_accepted;
+        current = cost;
+        if (current < stats.best_cost - 1e-15) {
+          stats.best_cost = current;
+          improved = true;
+          if (hooks.on_new_best) hooks.on_new_best(current);
+        }
+      } else {
+        hooks.reject();
+      }
+    }
+    ++stats.temperature_steps;
+    stagnant = improved ? 0 : stagnant + 1;
+    temperature *= options.cooling;
+  }
+  HIDAP_LOG_DEBUG("anneal: %ld/%ld accepted, %d temps, cost %.4g -> %.4g",
+                  stats.moves_accepted, stats.moves_attempted, stats.temperature_steps,
+                  stats.initial_cost, stats.best_cost);
+  return stats;
+}
+
+}  // namespace hidap

@@ -1,0 +1,49 @@
+#pragma once
+// Generic simulated-annealing engine shared by shape-curve generation and
+// layout generation (paper sect. IV-A / IV-E).
+//
+// The caller owns the state; the engine drives the classical schedule:
+// initial temperature calibrated from the mean uphill move magnitude,
+// geometric cooling, a fixed number of attempted moves per temperature,
+// and freezing on temperature floor or stagnation.
+
+#include <functional>
+
+#include "util/rng.hpp"
+
+namespace hidap {
+
+struct AnnealOptions {
+  double initial_acceptance = 0.9;   ///< target uphill acceptance at T0
+  double cooling = 0.9;              ///< geometric cooling factor
+  int moves_per_temperature = 200;   ///< attempts at each temperature step
+  int calibration_moves = 50;        ///< random moves sampled to set T0
+  double frozen_temperature_ratio = 1e-4;  ///< stop when T < ratio * T0
+  int max_stagnant_temperatures = 8;       ///< stop after this many tempertures without improvement
+  std::uint64_t seed = 1;
+};
+
+struct AnnealHooks {
+  /// Applies a random move and returns the resulting cost. The engine
+  /// will either keep it or call `reject` to undo it.
+  std::function<double()> propose;
+  /// Undoes the last proposed move.
+  std::function<void()> reject;
+  /// Called when a new global best cost is observed (after acceptance).
+  /// Typical use: snapshot the current solution.
+  std::function<void(double)> on_new_best;
+};
+
+struct AnnealStats {
+  double initial_cost = 0.0;
+  double best_cost = 0.0;
+  long moves_attempted = 0;
+  long moves_accepted = 0;
+  int temperature_steps = 0;
+};
+
+/// Runs the schedule; `initial_cost` is the cost of the starting state.
+AnnealStats anneal(double initial_cost, const AnnealOptions& options,
+                   const AnnealHooks& hooks);
+
+}  // namespace hidap

@@ -1,0 +1,90 @@
+#include "floorplan/area_floorplanner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "floorplan/polish_expression.hpp"
+#include "util/log.hpp"
+
+namespace hidap {
+
+ShapeCurve compose_curve(const std::vector<ShapeCurve>& leaves,
+                         const PolishExpression& expr, std::size_t curve_points) {
+  std::vector<ShapeCurve> stack;
+  for (const int e : expr.elements()) {
+    if (is_operator(e)) {
+      ShapeCurve right = std::move(stack.back());
+      stack.pop_back();
+      ShapeCurve left = std::move(stack.back());
+      stack.pop_back();
+      // V: side by side (widths add); H: stacked (heights add).
+      ShapeCurve combined = (e == kOpV) ? ShapeCurve::compose_horizontal(left, right)
+                                        : ShapeCurve::compose_vertical(left, right);
+      combined.prune(curve_points);
+      stack.push_back(std::move(combined));
+    } else {
+      stack.push_back(leaves[static_cast<std::size_t>(e)]);
+    }
+  }
+  return stack.empty() ? ShapeCurve{} : stack.back();
+}
+
+ShapeCurve pack_shape_curve(const std::vector<ShapeCurve>& leaves,
+                            const AreaFloorplanOptions& options) {
+  if (leaves.empty()) return {};
+  if (leaves.size() == 1) return leaves[0];
+
+  PolishExpression current = PolishExpression::initial(static_cast<int>(leaves.size()));
+  PolishExpression backup = current;
+
+  const auto cost_of = [&](const PolishExpression& expr) {
+    const ShapeCurve curve = compose_curve(leaves, expr, options.curve_points);
+    const auto best = curve.min_area_shape();
+    return best ? best->area() : std::numeric_limits<double>::infinity();
+  };
+
+  // Keep the few best expressions seen; their curves are merged at the end
+  // ("a set of shape combinations with small area", paper IV-A).
+  std::vector<std::pair<double, PolishExpression>> best_set;
+  const auto record_best = [&](double cost, const PolishExpression& expr) {
+    best_set.emplace_back(cost, expr);
+    std::sort(best_set.begin(), best_set.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (best_set.size() > static_cast<std::size_t>(options.best_solutions_merged)) {
+      best_set.pop_back();
+    }
+  };
+
+  const double initial_cost = cost_of(current);
+  record_best(initial_cost, current);
+
+  Rng move_rng(options.anneal.seed ^ 0x5bd1e995u);
+  AnnealHooks hooks;
+  hooks.propose = [&]() {
+    backup = current;
+    // Retry until some move applies (perturb can fail on tiny instances).
+    for (int tries = 0; tries < 8; ++tries) {
+      if (current.perturb(move_rng)) break;
+    }
+    return cost_of(current);
+  };
+  hooks.reject = [&]() { current = backup; };
+  hooks.on_new_best = [&](double cost) { record_best(cost, current); };
+
+  AnnealOptions anneal_options = options.anneal;
+  anneal_options.moves_per_temperature =
+      std::max(anneal_options.moves_per_temperature,
+               static_cast<int>(leaves.size()) * 8);
+  anneal(initial_cost, anneal_options, hooks);
+
+  ShapeCurve merged;
+  for (const auto& [cost, expr] : best_set) {
+    if (!std::isfinite(cost)) continue;
+    merged.merge(compose_curve(leaves, expr, options.curve_points));
+  }
+  merged.prune(options.curve_points);
+  return merged;
+}
+
+}  // namespace hidap

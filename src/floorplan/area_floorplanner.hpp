@@ -1,0 +1,34 @@
+#pragma once
+// Bottom-up Wong-Liu area floorplanner over shape curves.
+//
+// Used for shape-curve generation (paper sect. IV-A): given the shape
+// curves of the components under a hierarchy node, simulated annealing
+// over slicing structures finds packings with small area; the Pareto
+// union of the root shape curves of the best solutions becomes the
+// node's curve in S_Gamma.
+
+#include <vector>
+
+#include "floorplan/annealer.hpp"
+#include "geometry/shape_curve.hpp"
+
+namespace hidap {
+
+struct AreaFloorplanOptions {
+  AnnealOptions anneal;
+  std::size_t curve_points = 32;    ///< pruning cap for intermediate curves
+  int best_solutions_merged = 4;    ///< root curves merged into the result
+};
+
+/// Root shape curve of a fixed slicing structure (no search): pure
+/// composition of the children curves in expression order.
+ShapeCurve compose_curve(const std::vector<ShapeCurve>& leaves,
+                         const class PolishExpression& expr,
+                         std::size_t curve_points = 32);
+
+/// Runs SA minimizing the root min-area; returns the merged Pareto curve
+/// of the best slicing structures encountered.
+ShapeCurve pack_shape_curve(const std::vector<ShapeCurve>& leaves,
+                            const AreaFloorplanOptions& options = {});
+
+}  // namespace hidap

@@ -1,0 +1,172 @@
+#include "floorplan/budget_layout.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hidap {
+
+namespace {
+
+// Per-slicing-node aggregate computed bottom-up before the top-down pass
+// (the paper's Gamma_n, a^n_m, a^n_t characterization of subtrees).
+struct NodeInfo {
+  ShapeCurve gamma;
+  double am = 0.0;
+  double at = 0.0;
+};
+
+class BudgetRunner {
+ public:
+  BudgetRunner(const SlicingTree& tree, const std::vector<BudgetBlock>& blocks,
+               const BudgetOptions& options, BudgetResult& result)
+      : tree_(tree), blocks_(blocks), options_(options), result_(result) {
+    info_.resize(tree.nodes.size());
+  }
+
+  void run(const Rect& budget) {
+    compute_info(tree_.root);
+    assign(tree_.root, budget);
+  }
+
+ private:
+  void compute_info(int node_id) {
+    const SlicingTree::Node& node = tree_.nodes[static_cast<std::size_t>(node_id)];
+    NodeInfo& info = info_[static_cast<std::size_t>(node_id)];
+    if (node.is_leaf()) {
+      const BudgetBlock& b = blocks_[static_cast<std::size_t>(node.leaf)];
+      info.gamma = b.gamma;
+      info.am = b.am;
+      info.at = b.at;
+      return;
+    }
+    compute_info(node.left);
+    compute_info(node.right);
+    const NodeInfo& l = info_[static_cast<std::size_t>(node.left)];
+    const NodeInfo& r = info_[static_cast<std::size_t>(node.right)];
+    info.am = l.am + r.am;
+    info.at = l.at + r.at;
+    if (l.gamma.empty()) {
+      info.gamma = r.gamma;
+    } else if (r.gamma.empty()) {
+      info.gamma = l.gamma;
+    } else {
+      info.gamma = (node.op == kOpV) ? ShapeCurve::compose_horizontal(l.gamma, r.gamma)
+                                     : ShapeCurve::compose_vertical(l.gamma, r.gamma);
+    }
+    info.gamma.prune(options_.curve_points);
+  }
+
+  // Minimal extent a subtree needs along the split axis, given the fixed
+  // extent of the other axis. Returns 0 when the subtree has no macros.
+  // When its curve cannot fit the cross extent at all, the cheapest
+  // (min-area) curve point defines the demand and the overflow is charged
+  // as macro deficit later, at the leaves.
+  static double min_extent(const NodeInfo& info, double cross, bool along_width) {
+    if (info.gamma.empty()) return 0.0;
+    const auto need = along_width ? info.gamma.min_width_for_height(cross)
+                                  : info.gamma.min_height_for_width(cross);
+    if (need) return *need;
+    const auto best = info.gamma.min_area_shape();
+    if (!best) return 0.0;
+    return along_width ? best->w : best->h;
+  }
+
+  void assign(int node_id, const Rect& rect) {
+    const SlicingTree::Node& node = tree_.nodes[static_cast<std::size_t>(node_id)];
+    if (node.is_leaf()) {
+      result_.leaf_rects[static_cast<std::size_t>(node.leaf)] = rect;
+      score_leaf(node.leaf, rect);
+      return;
+    }
+    const NodeInfo& l = info_[static_cast<std::size_t>(node.left)];
+    const NodeInfo& r = info_[static_cast<std::size_t>(node.right)];
+    const double at_sum = l.at + r.at;
+    const double ratio = at_sum > 0 ? l.at / at_sum : 0.5;
+
+    if (node.op == kOpV) {
+      // Side-by-side: split the width.
+      double wl = rect.w * ratio;
+      const double min_l = min_extent(l, rect.h, /*along_width=*/true);
+      const double min_r = min_extent(r, rect.h, /*along_width=*/true);
+      if (min_l + min_r <= rect.w) {
+        wl = std::clamp(wl, min_l, rect.w - min_r);
+      } else {
+        // Even the minima do not fit; split the shortfall proportionally.
+        wl = rect.w * (min_l / (min_l + min_r));
+      }
+      assign(node.left, Rect{rect.x, rect.y, wl, rect.h});
+      assign(node.right, Rect{rect.x + wl, rect.y, rect.w - wl, rect.h});
+    } else {
+      // Stacked: split the height.
+      double hl = rect.h * ratio;
+      const double min_l = min_extent(l, rect.w, /*along_width=*/false);
+      const double min_r = min_extent(r, rect.w, /*along_width=*/false);
+      if (min_l + min_r <= rect.h) {
+        hl = std::clamp(hl, min_l, rect.h - min_r);
+      } else {
+        hl = rect.h * (min_l / (min_l + min_r));
+      }
+      assign(node.left, Rect{rect.x, rect.y, rect.w, hl});
+      assign(node.right, Rect{rect.x, rect.y + hl, rect.w, rect.h - hl});
+    }
+  }
+
+  // Grades the final rectangle of a leaf block against its <Gamma, am, at>.
+  void score_leaf(int leaf, const Rect& rect) {
+    const BudgetBlock& b = blocks_[static_cast<std::size_t>(leaf)];
+    BudgetViolations& v = result_.violations;
+    const double area = rect.area();
+    if (area + 1e-9 < b.at) v.at_deficit += b.at - area;
+    if (area + 1e-9 < b.am) v.am_deficit += b.am - area;
+    if (!b.gamma.empty() && !b.gamma.fits(rect.w, rect.h)) {
+      ++v.infeasible_leaves;
+      // Overflow area of the best attempt: how much macro bounding box
+      // sticks out of the rectangle.
+      double overflow = 0.0;
+      double best_overflow = -1.0;
+      for (const Shape& s : b.gamma.points()) {
+        const double ow = std::max(0.0, s.w - rect.w);
+        const double oh = std::max(0.0, s.h - rect.h);
+        overflow = ow * rect.h + oh * rect.w + ow * oh;
+        if (best_overflow < 0 || overflow < best_overflow) best_overflow = overflow;
+      }
+      v.macro_deficit += std::max(best_overflow, 0.0);
+    }
+  }
+
+  const SlicingTree& tree_;
+  const std::vector<BudgetBlock>& blocks_;
+  const BudgetOptions& options_;
+  BudgetResult& result_;
+  std::vector<NodeInfo> info_;
+};
+
+}  // namespace
+
+BudgetResult budget_layout(const PolishExpression& expr,
+                           const std::vector<BudgetBlock>& blocks, const Rect& budget,
+                           const BudgetOptions& options) {
+  assert(expr.is_valid());
+  BudgetResult result;
+  result.leaf_rects.assign(blocks.size(), Rect{});
+  const SlicingTree tree = SlicingTree::from_polish(expr);
+  BudgetRunner runner(tree, blocks, options, result);
+  runner.run(budget);
+  return result;
+}
+
+double budget_penalty(const BudgetViolations& v, double scale_area) {
+  if (scale_area <= 0) return 1.0;
+  // Severity weights: yielding target area is mild, cutting into minimum
+  // area is serious, macro overflow is prohibitive (paper: "at, am or
+  // macro area, from least to most severe").
+  constexpr double kAtWeight = 2.0;
+  constexpr double kAmWeight = 12.0;
+  constexpr double kMacroWeight = 60.0;
+  const double graded = (kAtWeight * v.at_deficit + kAmWeight * v.am_deficit +
+                         kMacroWeight * v.macro_deficit) /
+                        scale_area;
+  return 1.0 + graded;
+}
+
+}  // namespace hidap

@@ -1,0 +1,61 @@
+#pragma once
+// Top-down area-budget layout generation (paper sect. IV-E, Fig. 8).
+//
+// Unlike bottom-up packing, the layout dimensions are a *budget*, not a
+// constraint: the layout always occupies exactly the assigned rectangle.
+// At every slicing-tree node the rectangle is split (direction given by
+// the node operator) proportionally to the target areas `at` of the two
+// subtrees. Macro feasibility (the subtree shape curve Gamma must fit in
+// the assigned rectangle) is repaired by moving area from the sibling;
+// the repair cost is graded by what kind of area the sibling yielded --
+// free slack above at (cheapest), target area at, minimum area am, or
+// outright macro infeasibility (most severe).
+
+#include <vector>
+
+#include "floorplan/polish_expression.hpp"
+#include "geometry/geometry.hpp"
+#include "geometry/shape_curve.hpp"
+
+namespace hidap {
+
+/// Per-leaf characterization <Gamma, am, at> (paper sect. II-D).
+struct BudgetBlock {
+  ShapeCurve gamma;   ///< macro shape curve; empty for pure-soft blocks
+  double am = 0.0;    ///< minimum area (macros + std cells)
+  double at = 0.0;    ///< target area (am + assigned glue area)
+};
+
+/// Violation totals, graded by severity (um^2 of deficit).
+struct BudgetViolations {
+  double at_deficit = 0.0;     ///< leaf rect area below its target area
+  double am_deficit = 0.0;     ///< leaf rect area below its minimum area
+  double macro_deficit = 0.0;  ///< area by which macros overflow their rect
+  int infeasible_leaves = 0;   ///< leaves whose Gamma does not fit at all
+
+  bool clean() const {
+    return at_deficit <= 0.0 && am_deficit <= 0.0 && macro_deficit <= 0.0;
+  }
+};
+
+struct BudgetResult {
+  std::vector<Rect> leaf_rects;  ///< indexed by operand id
+  BudgetViolations violations;
+};
+
+struct BudgetOptions {
+  std::size_t curve_points = 24;  ///< pruning cap for composed curves
+};
+
+/// Lays out `blocks` (operand id -> block) inside `budget` according to
+/// the slicing structure of `expr`.
+BudgetResult budget_layout(const PolishExpression& expr,
+                           const std::vector<BudgetBlock>& blocks, const Rect& budget,
+                           const BudgetOptions& options = {});
+
+/// Multiplicative penalty derived from the violations: 1 for a clean
+/// layout, growing with graded severity. `scale_area` normalizes deficits
+/// (usually the budget area).
+double budget_penalty(const BudgetViolations& v, double scale_area);
+
+}  // namespace hidap

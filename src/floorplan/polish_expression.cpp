@@ -1,0 +1,153 @@
+#include "floorplan/polish_expression.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hidap {
+
+PolishExpression PolishExpression::initial(int operand_count) {
+  std::vector<int> elems;
+  elems.reserve(static_cast<std::size_t>(operand_count) * 2);
+  for (int i = 0; i < operand_count; ++i) {
+    elems.push_back(i);
+    if (i > 0) elems.push_back(i % 2 == 1 ? kOpV : kOpH);
+  }
+  return PolishExpression(std::move(elems));
+}
+
+int PolishExpression::operand_count() const {
+  int n = 0;
+  for (const int e : elems_) n += is_operator(e) ? 0 : 1;
+  return n;
+}
+
+bool PolishExpression::is_valid() const {
+  if (elems_.empty()) return false;
+  int operands = 0, operators = 0;
+  for (std::size_t i = 0; i < elems_.size(); ++i) {
+    if (is_operator(elems_[i])) {
+      ++operators;
+      // Balloting property: every prefix has more operands than operators.
+      if (operators >= operands) return false;
+      // Normalization: no two adjacent identical operators.
+      if (i > 0 && elems_[i - 1] == elems_[i]) return false;
+    } else {
+      ++operands;
+    }
+  }
+  return operators == operands - 1;
+}
+
+bool PolishExpression::move_swap_operands(Rng& rng) {
+  // Collect operand positions; swap two adjacent ones (adjacent in the
+  // operand subsequence).
+  std::vector<int> pos;
+  for (std::size_t i = 0; i < elems_.size(); ++i) {
+    if (!is_operator(elems_[i])) pos.push_back(static_cast<int>(i));
+  }
+  if (pos.size() < 2) return false;
+  const int k = rng.next_int(0, static_cast<int>(pos.size()) - 2);
+  std::swap(elems_[static_cast<std::size_t>(pos[k])],
+            elems_[static_cast<std::size_t>(pos[k + 1])]);
+  return true;
+}
+
+bool PolishExpression::move_invert_chain(Rng& rng) {
+  // A chain is a maximal run of operators; complement every operator in
+  // a randomly selected chain. Normalization is preserved: a complemented
+  // alternating run stays alternating.
+  std::vector<std::pair<int, int>> chains;  // [begin, end)
+  for (std::size_t i = 0; i < elems_.size();) {
+    if (is_operator(elems_[i])) {
+      std::size_t j = i;
+      while (j < elems_.size() && is_operator(elems_[j])) ++j;
+      chains.emplace_back(static_cast<int>(i), static_cast<int>(j));
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  if (chains.empty()) return false;
+  const auto [begin, end] = chains[static_cast<std::size_t>(
+      rng.next_int(0, static_cast<int>(chains.size()) - 1))];
+  for (int i = begin; i < end; ++i) {
+    elems_[static_cast<std::size_t>(i)] = complement_op(elems_[static_cast<std::size_t>(i)]);
+  }
+  return true;
+}
+
+bool PolishExpression::move_swap_operand_operator(Rng& rng) {
+  // Candidate positions i where elems[i], elems[i+1] form an
+  // operand/operator (or operator/operand) pair whose swap keeps the
+  // expression valid. Try a random candidate; accept the first legal one.
+  std::vector<int> candidates;
+  for (std::size_t i = 0; i + 1 < elems_.size(); ++i) {
+    if (is_operator(elems_[i]) != is_operator(elems_[i + 1])) {
+      candidates.push_back(static_cast<int>(i));
+    }
+  }
+  // Random rotation through candidates so the move is unbiased but still
+  // finds a legal swap when one exists.
+  if (candidates.empty()) return false;
+  const std::size_t offset = rng.next_below(candidates.size());
+  for (std::size_t t = 0; t < candidates.size(); ++t) {
+    const int i = candidates[(offset + t) % candidates.size()];
+    std::swap(elems_[static_cast<std::size_t>(i)], elems_[static_cast<std::size_t>(i) + 1]);
+    if (is_valid()) return true;
+    std::swap(elems_[static_cast<std::size_t>(i)], elems_[static_cast<std::size_t>(i) + 1]);
+  }
+  return false;
+}
+
+bool PolishExpression::perturb(Rng& rng) {
+  switch (rng.next_int(0, 2)) {
+    case 0: return move_swap_operands(rng);
+    case 1: return move_invert_chain(rng);
+    default: return move_swap_operand_operator(rng);
+  }
+}
+
+std::string PolishExpression::to_string() const {
+  std::string out;
+  for (const int e : elems_) {
+    if (!out.empty()) out.push_back(' ');
+    if (e == kOpH) {
+      out.push_back('H');
+    } else if (e == kOpV) {
+      out.push_back('V');
+    } else {
+      out += std::to_string(e);
+    }
+  }
+  return out;
+}
+
+SlicingTree SlicingTree::from_polish(const PolishExpression& expr) {
+  SlicingTree tree;
+  std::vector<int> stack;
+  for (const int e : expr.elements()) {
+    if (is_operator(e)) {
+      if (stack.size() < 2) throw std::invalid_argument("invalid polish expression");
+      const int right = stack.back();
+      stack.pop_back();
+      const int left = stack.back();
+      stack.pop_back();
+      Node node;
+      node.left = left;
+      node.right = right;
+      node.op = e;
+      tree.nodes.push_back(node);
+      stack.push_back(static_cast<int>(tree.nodes.size()) - 1);
+    } else {
+      Node node;
+      node.leaf = e;
+      tree.nodes.push_back(node);
+      stack.push_back(static_cast<int>(tree.nodes.size()) - 1);
+    }
+  }
+  if (stack.size() != 1) throw std::invalid_argument("invalid polish expression");
+  tree.root = stack.back();
+  return tree;
+}
+
+}  // namespace hidap

@@ -1,0 +1,30 @@
+#pragma once
+// The benchmark suite: eight circuits mirroring the paper's Table III
+// instances (exact macro counts, cell counts scaled by `cell_scale`).
+
+#include <string>
+#include <vector>
+
+#include "gen/circuit_gen.hpp"
+
+namespace hidap {
+
+struct SuiteEntry {
+  CircuitSpec spec;
+  long paper_cells = 0;   ///< cell count reported in the paper
+  int paper_macros = 0;   ///< macro count reported in the paper
+};
+
+/// `cell_scale` = fraction of the paper's cell counts to generate
+/// (default 1/10th: the full c4 at 4.81M cells is unnecessary for the
+/// relative comparison and slows every bench by ~10x).
+std::vector<SuiteEntry> paper_suite(double cell_scale = 0.1);
+
+/// Lookup by name ("c1".."c8"); throws std::out_of_range when unknown.
+SuiteEntry suite_circuit(const std::string& name, double cell_scale = 0.1);
+
+/// A small circuit for unit tests and the quickstart example: 16 macros
+/// in two mirrored subsystems (the paper's Fig. 1 demonstrator).
+CircuitSpec fig1_spec();
+
+}  // namespace hidap

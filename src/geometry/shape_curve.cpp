@@ -1,0 +1,128 @@
+#include "geometry/shape_curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hidap {
+
+ShapeCurve ShapeCurve::for_rect(double w, double h, bool rotate) {
+  ShapeCurve c;
+  c.add({w, h});
+  if (rotate) c.add({h, w});
+  return c;
+}
+
+ShapeCurve ShapeCurve::soft_area(double area, double min_aspect, double max_aspect,
+                                 int points) {
+  ShapeCurve c;
+  if (area <= 0 || points < 1) return c;
+  // aspect = h / w; w = sqrt(area / aspect).
+  for (int i = 0; i < points; ++i) {
+    const double t = points == 1 ? 0.5 : static_cast<double>(i) / (points - 1);
+    const double aspect = min_aspect * std::pow(max_aspect / min_aspect, t);
+    const double w = std::sqrt(area / aspect);
+    c.add({w, area / w});
+  }
+  return c;
+}
+
+void ShapeCurve::add(Shape s) {
+  if (s.w <= 0 || s.h <= 0) return;
+  // Find insertion point by width.
+  auto it = std::lower_bound(points_.begin(), points_.end(), s,
+                             [](const Shape& a, const Shape& b) { return a.w < b.w; });
+  // Dominated by a point with smaller-or-equal width and height?
+  if (it != points_.begin()) {
+    const Shape& prev = *(it - 1);
+    if (prev.h <= s.h) return;  // prev dominates s (prev.w <= s.w)
+  }
+  if (it != points_.end() && it->w == s.w && it->h <= s.h) return;
+  it = points_.insert(it, s);
+  // Remove points dominated by s (width >= s.w and height >= s.h).
+  auto next = it + 1;
+  auto last = next;
+  while (last != points_.end() && last->h >= s.h) ++last;
+  points_.erase(next, last);
+}
+
+void ShapeCurve::merge(const ShapeCurve& other) {
+  for (const Shape& s : other.points_) add(s);
+}
+
+ShapeCurve ShapeCurve::compose_horizontal(const ShapeCurve& a, const ShapeCurve& b) {
+  ShapeCurve out;
+  for (const Shape& sa : a.points_) {
+    for (const Shape& sb : b.points_) {
+      out.add({sa.w + sb.w, std::max(sa.h, sb.h)});
+    }
+  }
+  return out;
+}
+
+ShapeCurve ShapeCurve::compose_vertical(const ShapeCurve& a, const ShapeCurve& b) {
+  ShapeCurve out;
+  for (const Shape& sa : a.points_) {
+    for (const Shape& sb : b.points_) {
+      out.add({std::max(sa.w, sb.w), sa.h + sb.h});
+    }
+  }
+  return out;
+}
+
+bool ShapeCurve::fits(double w, double h, double eps) const {
+  // Points are sorted by increasing w / decreasing h: the first point with
+  // w' <= w has the smallest height among those, so scan from the widest
+  // point that still fits.
+  for (const Shape& s : points_) {
+    if (s.w > w + eps) break;
+    if (s.h <= h + eps) return true;
+  }
+  return false;
+}
+
+std::optional<Shape> ShapeCurve::min_area_shape() const {
+  if (points_.empty()) return std::nullopt;
+  const auto it =
+      std::min_element(points_.begin(), points_.end(),
+                       [](const Shape& a, const Shape& b) { return a.area() < b.area(); });
+  return *it;
+}
+
+std::optional<double> ShapeCurve::min_width_for_height(double h, double eps) const {
+  for (const Shape& s : points_) {  // increasing w, decreasing h
+    if (s.h <= h + eps) return s.w;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> ShapeCurve::min_height_for_width(double w, double eps) const {
+  std::optional<double> best;
+  for (const Shape& s : points_) {
+    if (s.w > w + eps) break;
+    best = s.h;  // heights decrease along the scan; last fitting is smallest
+  }
+  return best;
+}
+
+std::optional<Shape> ShapeCurve::best_fit(double w, double h, double eps) const {
+  std::optional<Shape> best;
+  for (const Shape& s : points_) {
+    if (s.w > w + eps) break;
+    if (s.h <= h + eps && (!best || s.area() < best->area())) best = s;
+  }
+  return best;
+}
+
+void ShapeCurve::prune(std::size_t max_points) {
+  if (points_.size() <= max_points || max_points < 2) return;
+  std::vector<Shape> kept;
+  kept.reserve(max_points);
+  const std::size_t n = points_.size();
+  for (std::size_t i = 0; i < max_points; ++i) {
+    const std::size_t idx = i * (n - 1) / (max_points - 1);
+    if (kept.empty() || !(kept.back() == points_[idx])) kept.push_back(points_[idx]);
+  }
+  points_ = std::move(kept);
+}
+
+}  // namespace hidap

@@ -1,0 +1,84 @@
+#pragma once
+// Shape curves (paper Fig. 4b).
+//
+// A shape curve is the Pareto frontier of (width, height) pairs such that
+// a bounding box of at least that size can hold a legal placement of the
+// macros of a block. Points are kept sorted by increasing width and, by
+// Pareto dominance, strictly decreasing height.
+//
+// Shape curves compose under slicing cuts: a horizontal composition
+// places children side by side (widths add, heights max), a vertical
+// composition stacks them (heights add, widths max). This is the Wong-Liu
+// shape-function algebra and is used both by the bottom-up area
+// floorplanner (shape curve generation, paper sect. IV-A) and by the
+// top-down budget layout's legality checks (sect. IV-E).
+
+#include <optional>
+#include <vector>
+
+#include "geometry/geometry.hpp"
+
+namespace hidap {
+
+struct Shape {
+  double w = 0.0;
+  double h = 0.0;
+  double area() const { return w * h; }
+  bool operator==(const Shape&) const = default;
+};
+
+class ShapeCurve {
+ public:
+  ShapeCurve() = default;
+
+  /// Curve of a single rectangle (both orientations when rotate is true).
+  static ShapeCurve for_rect(double w, double h, bool rotate = true);
+
+  /// Curve allowing any aspect ratio at a fixed area (soft block with no
+  /// macros), discretized into `points` samples between the aspect limits.
+  static ShapeCurve soft_area(double area, double min_aspect = 0.25,
+                              double max_aspect = 4.0, int points = 16);
+
+  bool empty() const { return points_.empty(); }
+  const std::vector<Shape>& points() const { return points_; }
+
+  /// Adds one feasible shape, maintaining the Pareto frontier.
+  void add(Shape s);
+
+  /// Merges every point of `other` into this curve (Pareto union).
+  void merge(const ShapeCurve& other);
+
+  /// Children side by side: widths add, heights max.
+  static ShapeCurve compose_horizontal(const ShapeCurve& a, const ShapeCurve& b);
+  /// Children stacked: heights add, widths max.
+  static ShapeCurve compose_vertical(const ShapeCurve& a, const ShapeCurve& b);
+
+  /// True when some curve point fits inside a w x h box.
+  bool fits(double w, double h, double eps = 1e-9) const;
+
+  /// The smallest-area point of the curve.
+  std::optional<Shape> min_area_shape() const;
+
+  /// Smallest width whose curve point has height <= h (i.e. minimum
+  /// horizontal extent needed when the available height is h).
+  /// Returns nullopt when no point fits in that height.
+  std::optional<double> min_width_for_height(double h, double eps = 1e-9) const;
+
+  /// Symmetric query: smallest height for a given available width.
+  std::optional<double> min_height_for_width(double w, double eps = 1e-9) const;
+
+  /// Best (smallest-area) point that fits in a w x h box, if any.
+  std::optional<Shape> best_fit(double w, double h, double eps = 1e-9) const;
+
+  /// Caps the number of Pareto points, keeping an area-spread subset.
+  /// Keeps composition cost bounded on deep trees.
+  void prune(std::size_t max_points);
+
+  bool operator==(const ShapeCurve&) const = default;
+
+ private:
+  // Sorted by increasing w; strictly decreasing h (Pareto).
+  std::vector<Shape> points_;
+};
+
+}  // namespace hidap

@@ -1,0 +1,81 @@
+#pragma once
+// Hierarchy tree HT = (Vht, Eht) (paper sect. II-C).
+//
+// Every node represents a level of the RTL hierarchy; additionally every
+// macro cell gets a private leaf node (DESIGN.md interpretation #3) so
+// that hierarchical declustering can always descend to single-macro
+// blocks. The tree caches per-subtree area and macro counts, the two
+// quantities Algorithm 3 consults.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace hidap {
+
+using HtNodeId = std::int32_t;
+
+struct HtNode {
+  HtNodeId parent = kInvalidId;
+  std::vector<HtNodeId> children;
+  HierId hier = kInvalidId;        ///< originating hierarchy node (or parent's for macro leaves)
+  CellId macro_cell = kInvalidId;  ///< valid for macro leaf nodes only
+  std::vector<CellId> own_cells;   ///< non-macro cells directly at this level
+
+  double subtree_area = 0.0;       ///< macros + std cells below (um^2)
+  double subtree_macro_area = 0.0;
+  int subtree_macros = 0;
+  std::string name;
+
+  bool is_macro_leaf() const { return macro_cell != kInvalidId; }
+};
+
+class HierTree {
+ public:
+  /// Builds HT from a design: one node per hierarchy level plus one leaf
+  /// per macro cell; computes subtree aggregates bottom-up.
+  explicit HierTree(const Design& design);
+
+  HtNodeId root() const { return 0; }
+  const HtNode& node(HtNodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  std::size_t size() const { return nodes_.size(); }
+
+  double area(HtNodeId id) const { return node(id).subtree_area; }
+  int macro_count(HtNodeId id) const { return node(id).subtree_macros; }
+
+  /// All macro cells in the subtree of `id`.
+  std::vector<CellId> macros_under(HtNodeId id) const;
+
+  /// All cells (of any kind) in the subtree of `id`.
+  std::vector<CellId> cells_under(HtNodeId id) const;
+
+  /// HT node owning each cell: macro cells map to their leaf, other cells
+  /// to the node of their hierarchy level.
+  HtNodeId node_of_cell(CellId cell) const {
+    return cell_node_[static_cast<std::size_t>(cell)];
+  }
+
+  /// HT node corresponding to a Design hierarchy node.
+  HtNodeId node_of_hier(HierId hier) const {
+    return hier_node_[static_cast<std::size_t>(hier)];
+  }
+
+  /// True when `descendant` lies in the subtree of `ancestor` (inclusive).
+  bool is_ancestor(HtNodeId ancestor, HtNodeId descendant) const;
+
+  /// Nodes of the subtree of `id` in preorder.
+  std::vector<HtNodeId> preorder(HtNodeId id) const;
+
+  /// Full path name for diagnostics.
+  std::string path(HtNodeId id) const;
+
+ private:
+  std::vector<HtNode> nodes_;
+  std::vector<HtNodeId> cell_node_;
+  std::vector<HtNodeId> hier_node_;
+  std::vector<int> depth_;
+};
+
+}  // namespace hidap

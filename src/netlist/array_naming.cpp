@@ -1,0 +1,54 @@
+#include "netlist/array_naming.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "util/string_utils.hpp"
+
+namespace hidap {
+
+std::vector<ArrayGroup> cluster_arrays(const Design& design) {
+  // Key: (hier, kind, base name). std::map keeps output deterministic.
+  std::map<std::tuple<HierId, int, std::string>, ArrayGroup> groups;
+  std::vector<std::pair<int, CellId>> index_of;  // bit index per grouped cell
+
+  for (std::size_t i = 0; i < design.cell_count(); ++i) {
+    const CellId id = static_cast<CellId>(i);
+    const Cell& c = design.cell(id);
+    if (c.kind != CellKind::Flop && !is_port(c.kind)) continue;
+    std::string base = c.name;
+    int bit = 0;
+    if (const auto parsed = parse_array_name(c.name)) {
+      base = parsed->base;
+      bit = parsed->index;
+    }
+    auto key = std::make_tuple(c.hier, static_cast<int>(c.kind), base);
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    ArrayGroup& g = it->second;
+    if (inserted) {
+      g.base = base;
+      g.hier = c.hier;
+      g.kind = c.kind;
+    }
+    g.bits.push_back(id);
+    index_of.emplace_back(bit, id);
+  }
+
+  // Order member bits by their parsed index (names may arrive shuffled).
+  std::vector<ArrayGroup> out;
+  out.reserve(groups.size());
+  for (auto& [key, group] : groups) {
+    std::sort(group.bits.begin(), group.bits.end(), [&](CellId a, CellId b) {
+      const auto pa = parse_array_name(design.cell(a).name);
+      const auto pb = parse_array_name(design.cell(b).name);
+      const int ia = pa ? pa->index : 0;
+      const int ib = pb ? pb->index : 0;
+      return std::tie(ia, a) < std::tie(ib, b);
+    });
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+}  // namespace hidap

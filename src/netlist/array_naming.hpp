@@ -1,0 +1,29 @@
+#pragma once
+// Array clustering by component name (paper sect. IV-D, step 2).
+//
+// Flops and port bits named "base[i]" or "base_i" within the same
+// hierarchy node are grouped into one multi-bit element. The result feeds
+// Gseq construction: each group becomes a single Gseq node whose width is
+// the number of member bits.
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace hidap {
+
+struct ArrayGroup {
+  std::string base;           ///< base name (without the bit suffix)
+  HierId hier = 0;            ///< hierarchy node the bits live in
+  CellKind kind = CellKind::Flop;
+  std::vector<CellId> bits;   ///< member cells, ascending bit index
+  int width() const { return static_cast<int>(bits.size()); }
+};
+
+/// Groups all flop and port cells of the design. Cells whose names carry
+/// no index become singleton groups. Grouping never crosses hierarchy
+/// nodes or cell kinds.
+std::vector<ArrayGroup> cluster_arrays(const Design& design);
+
+}  // namespace hidap

@@ -1,0 +1,280 @@
+#include "netlist/bookshelf.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/log.hpp"
+#include "util/string_utils.hpp"
+
+namespace hidap {
+
+namespace {
+
+std::string node_name(const Design& d, CellId c) {
+  // Bookshelf identifiers cannot contain '/', so path separators are
+  // folded; uniqueness is preserved by suffixing the cell id.
+  std::string name = d.cell_path(c);
+  for (char& ch : name) {
+    if (ch == '/' || ch == '[' || ch == ']') ch = '_';
+  }
+  return name + "_i" + std::to_string(c);
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  return out;
+}
+
+}  // namespace
+
+void write_bookshelf(const Design& design, const PlacementResult& placement,
+                     const std::string& basename, const BookshelfWriteOptions& options) {
+  // ---- .nodes --------------------------------------------------------
+  {
+    std::ofstream out = open_out(basename + ".nodes");
+    out << "UCLA nodes 1.0\n\n";
+    std::size_t terminals = 0;
+    for (const Cell& c : design.cells()) terminals += is_port(c.kind) ? 1 : 0;
+    out << "NumNodes : " << design.cell_count() << "\n";
+    out << "NumTerminals : " << terminals << "\n";
+    for (std::size_t i = 0; i < design.cell_count(); ++i) {
+      const CellId id = static_cast<CellId>(i);
+      const Cell& c = design.cell(id);
+      double w = 1.0, h = 1.0;
+      if (c.kind == CellKind::Macro) {
+        w = design.macro_def_of(id).w;
+        h = design.macro_def_of(id).h;
+      } else if (c.area > 0) {
+        w = h = std::sqrt(c.area);
+      }
+      out << "  " << node_name(design, id) << ' ' << w << ' ' << h
+          << (is_port(c.kind) ? " terminal" : "") << '\n';
+    }
+  }
+
+  // ---- .nets ---------------------------------------------------------
+  {
+    std::ofstream out = open_out(basename + ".nets");
+    out << "UCLA nets 1.0\n\n";
+    std::size_t pins = 0, nets = 0;
+    for (std::size_t n = 0; n < design.net_count(); ++n) {
+      const Net& net = design.net(static_cast<NetId>(n));
+      if (net.degree() < 2) continue;
+      ++nets;
+      pins += static_cast<std::size_t>(net.degree());
+    }
+    out << "NumNets : " << nets << "\n";
+    out << "NumPins : " << pins << "\n";
+    for (std::size_t n = 0; n < design.net_count(); ++n) {
+      const Net& net = design.net(static_cast<NetId>(n));
+      if (net.degree() < 2) continue;
+      out << "NetDegree : " << net.degree() << "  n" << n << '\n';
+      const auto emit = [&](const NetPin& p, char dir) {
+        const Cell& c = design.cell(p.cell);
+        double cx = 0.0, cy = 0.0;  // pin offset from node center
+        if (c.kind == CellKind::Macro) {
+          const MacroDef& def = design.macro_def_of(p.cell);
+          cx = p.dx - def.w / 2;
+          cy = p.dy - def.h / 2;
+        }
+        out << "  " << node_name(design, p.cell) << ' ' << dir << " : " << cx << ' '
+            << cy << '\n';
+      };
+      if (net.driver.cell != kInvalidId) emit(net.driver, 'O');
+      for (const NetPin& p : net.sinks) emit(p, 'I');
+    }
+  }
+
+  // ---- .pl -----------------------------------------------------------
+  if (options.write_placement) {
+    std::ofstream out = open_out(basename + ".pl");
+    out << std::setprecision(12);
+    out << "UCLA pl 1.0\n\n";
+    std::unordered_map<CellId, const MacroPlacement*> placed;
+    for (const MacroPlacement& m : placement.macros) placed.emplace(m.cell, &m);
+    for (std::size_t i = 0; i < design.cell_count(); ++i) {
+      const CellId id = static_cast<CellId>(i);
+      const Cell& c = design.cell(id);
+      double x = 0.0, y = 0.0;
+      std::string suffix;
+      if (const auto it = placed.find(id); it != placed.end()) {
+        x = it->second->rect.x;
+        y = it->second->rect.y;
+        suffix = " : " + std::string(to_string(it->second->orientation)) + " /FIXED";
+      } else if (c.fixed_pos) {
+        x = c.fixed_pos->x;
+        y = c.fixed_pos->y;
+        suffix = " : N /FIXED";
+      } else {
+        suffix = " : N";
+      }
+      out << node_name(design, id) << ' ' << x << ' ' << y << suffix << '\n';
+    }
+  }
+
+  // ---- .aux ----------------------------------------------------------
+  {
+    std::ofstream out = open_out(basename + ".aux");
+    const auto base = basename.substr(basename.find_last_of('/') + 1);
+    out << "RowBasedPlacement : " << base << ".nodes " << base << ".nets " << base
+        << ".pl\n";
+  }
+}
+
+namespace {
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  return in;
+}
+
+// Strips comments and blank lines; returns false at EOF.
+bool next_content_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (!trim(line).empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+BookshelfDesign read_bookshelf(const std::string& basename,
+                               double macro_area_threshold) {
+  BookshelfDesign result;
+  Design& design = result.design;
+
+  struct NodeInfo {
+    CellId cell = kInvalidId;
+    double w = 1.0, h = 1.0;
+    bool terminal = false;
+  };
+  std::map<std::string, NodeInfo> nodes;
+
+  // ---- .nodes: first pass collects sizes -----------------------------
+  {
+    std::ifstream in = open_in(basename + ".nodes");
+    std::string line;
+    double area_sum = 0.0;
+    long movable = 0;
+    std::vector<std::pair<std::string, NodeInfo>> rows;
+    while (next_content_line(in, line)) {
+      if (line.find("UCLA") != std::string::npos) continue;
+      if (line.find("NumNodes") != std::string::npos ||
+          line.find("NumTerminals") != std::string::npos) {
+        continue;
+      }
+      std::istringstream ss(line);
+      std::string name, flag;
+      NodeInfo info;
+      if (!(ss >> name >> info.w >> info.h)) {
+        throw std::runtime_error("bookshelf: bad .nodes line: " + line);
+      }
+      if (ss >> flag) info.terminal = (flag == "terminal");
+      if (!info.terminal) {
+        area_sum += info.w * info.h;
+        ++movable;
+      }
+      rows.emplace_back(std::move(name), info);
+    }
+    const double avg_area = movable > 0 ? area_sum / movable : 1.0;
+    // Second pass: create cells; big movables are macros.
+    for (auto& [name, info] : rows) {
+      CellKind kind;
+      MacroDefId def = kNoMacroDef;
+      if (info.terminal) {
+        kind = CellKind::PortIn;  // direction refined from .nets
+      } else if (info.w * info.h > macro_area_threshold * avg_area) {
+        kind = CellKind::Macro;
+        MacroDef md;
+        md.name = "BS_" + name;
+        md.w = info.w;
+        md.h = info.h;
+        md.pins.push_back({"P", {info.w / 2, info.h / 2}, 1, false});
+        def = design.library().add(std::move(md));
+      } else {
+        kind = CellKind::Comb;
+      }
+      info.cell = design.add_cell(design.root(), name, kind, info.w * info.h, def);
+      nodes.emplace(name, info);
+    }
+  }
+
+  // ---- .nets ---------------------------------------------------------
+  {
+    std::ifstream in = open_in(basename + ".nets");
+    std::string line;
+    NetId current = kInvalidId;
+    while (next_content_line(in, line)) {
+      if (line.find("UCLA") != std::string::npos ||
+          line.find("NumNets") != std::string::npos ||
+          line.find("NumPins") != std::string::npos) {
+        continue;
+      }
+      if (line.find("NetDegree") != std::string::npos) {
+        std::istringstream ss(line);
+        std::string tag, colon, name;
+        int degree = 0;
+        ss >> tag >> colon >> degree >> name;
+        current = design.add_net(name.empty() ? "net" : name);
+        continue;
+      }
+      if (current == kInvalidId) {
+        throw std::runtime_error("bookshelf: pin before NetDegree: " + line);
+      }
+      std::istringstream ss(line);
+      std::string name, dir;
+      ss >> name >> dir;
+      const auto it = nodes.find(name);
+      if (it == nodes.end()) {
+        throw std::runtime_error("bookshelf: unknown node '" + name + "'");
+      }
+      const CellId cell = it->second.cell;
+      if (dir == "O") {
+        design.set_driver(current, cell);
+      } else {
+        design.add_sink(current, cell);
+      }
+    }
+  }
+
+  // ---- .pl -----------------------------------------------------------
+  {
+    std::ifstream in = open_in(basename + ".pl");
+    std::string line;
+    Rect bbox{0, 0, 0, 0};
+    while (next_content_line(in, line)) {
+      if (line.find("UCLA") != std::string::npos) continue;
+      std::istringstream ss(line);
+      std::string name;
+      double x = 0, y = 0;
+      if (!(ss >> name >> x >> y)) continue;
+      const auto it = nodes.find(name);
+      if (it == nodes.end()) continue;
+      const NodeInfo& info = it->second;
+      const Cell& cell = design.cell(info.cell);
+      if (cell.kind == CellKind::Macro) {
+        result.placement.macros.push_back(
+            {info.cell, Rect{x, y, info.w, info.h}, Orientation::R0});
+      } else if (info.terminal) {
+        design.cell_mutable(info.cell).fixed_pos = Point{x, y};
+      }
+      bbox = bounding_union(bbox, Rect{x, y, info.w, info.h});
+    }
+    design.set_die(Die{bbox.xmax(), bbox.ymax()});
+  }
+  result.placement.flow_name = "bookshelf";
+  HIDAP_LOG_DEBUG("bookshelf: %zu cells, %zu nets, %zu macros", design.cell_count(),
+                  design.net_count(), design.macro_count());
+  return result;
+}
+
+}  // namespace hidap

@@ -1,0 +1,42 @@
+#pragma once
+// Bookshelf interchange (.nodes / .nets / .pl), the format of the
+// ISPD/ICCAD academic placement benchmarks.
+//
+// Export writes the bit-level netlist (macros as fixed-size nodes, ports
+// as terminals) plus the macro placement so academic mixed-size placers
+// can consume hidap designs. Import builds a *flat* Design -- Bookshelf
+// carries no hierarchy and no array names, which is precisely the
+// information loss the paper argues against; imported designs are
+// evaluated with the baselines, while HiDaP degenerates to a single
+// level on them (documented limitation, not a bug).
+
+#include <iosfwd>
+#include <string>
+
+#include "core/result.hpp"
+#include "netlist/netlist.hpp"
+
+namespace hidap {
+
+struct BookshelfWriteOptions {
+  bool write_placement = true;  ///< macros/ports into the .pl file
+};
+
+/// Writes basename.nodes / basename.nets / basename.pl (and basename.aux).
+void write_bookshelf(const Design& design, const PlacementResult& placement,
+                     const std::string& basename,
+                     const BookshelfWriteOptions& options = {});
+
+struct BookshelfDesign {
+  Design design;                 ///< flat: all cells under the root
+  PlacementResult placement;     ///< positions read from the .pl file
+};
+
+/// Reads basename.nodes / basename.nets / basename.pl. Movable nodes
+/// whose area exceeds `macro_area_threshold` times the average become
+/// macros; terminals become ports. Throws std::runtime_error on
+/// malformed input.
+BookshelfDesign read_bookshelf(const std::string& basename,
+                               double macro_area_threshold = 16.0);
+
+}  // namespace hidap

@@ -1,0 +1,149 @@
+#include "netlist/def_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/log.hpp"
+#include "util/string_utils.hpp"
+
+namespace hidap {
+
+namespace {
+
+Orientation orientation_from_string(const std::string& s) {
+  for (const Orientation o : kAllOrientations) {
+    if (to_string(o) == s) return o;
+  }
+  throw std::runtime_error("DEF: unknown orientation '" + s + "'");
+}
+
+long to_db(double microns, int upm) { return std::lround(microns * upm); }
+
+}  // namespace
+
+void write_def(const Design& design, const PlacementResult& placement,
+               std::ostream& out, const DefWriteOptions& options) {
+  const int upm = options.units_per_micron;
+  out << "VERSION 5.8 ;\n";
+  out << "DESIGN " << design.name() << " ;\n";
+  out << "UNITS DISTANCE MICRONS " << upm << " ;\n";
+  out << "DIEAREA ( 0 0 ) ( " << to_db(design.die().w, upm) << ' '
+      << to_db(design.die().h, upm) << " ) ;\n";
+
+  out << "COMPONENTS " << placement.macros.size() << " ;\n";
+  for (const MacroPlacement& m : placement.macros) {
+    out << "- " << design.cell_path(m.cell) << ' ' << design.macro_def_of(m.cell).name
+        << "\n  + PLACED ( " << to_db(m.rect.x, upm) << ' ' << to_db(m.rect.y, upm)
+        << " ) " << to_string(m.orientation) << " ;\n";
+  }
+  out << "END COMPONENTS\n";
+
+  if (options.include_pins) {
+    const std::vector<CellId> ports = design.ports();
+    out << "PINS " << ports.size() << " ;\n";
+    for (const CellId p : ports) {
+      const Cell& cell = design.cell(p);
+      const Point pos = cell.fixed_pos.value_or(Point{});
+      out << "- " << design.cell_path(p) << " + NET " << design.cell_path(p)
+          << " + DIRECTION " << (cell.kind == CellKind::PortIn ? "INPUT" : "OUTPUT")
+          << "\n  + PLACED ( " << to_db(pos.x, upm) << ' ' << to_db(pos.y, upm)
+          << " ) N ;\n";
+    }
+    out << "END PINS\n";
+  }
+  out << "END DESIGN\n";
+}
+
+void write_def_file(const Design& design, const PlacementResult& placement,
+                    const std::string& path, const DefWriteOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  write_def(design, placement, out, options);
+}
+
+DefContents parse_def(std::istream& in) {
+  DefContents def;
+  int upm = 1000;
+  std::string token;
+  const auto expect = [&](const char* what) {
+    if (!(in >> token)) throw std::runtime_error(std::string("DEF: expected ") + what);
+    return token;
+  };
+  while (in >> token) {
+    if (token == "DESIGN") {
+      def.design_name = expect("design name");
+    } else if (token == "UNITS") {
+      expect("DISTANCE");
+      expect("MICRONS");
+      upm = std::stoi(expect("units"));
+    } else if (token == "DIEAREA") {
+      expect("(");
+      const double x0 = std::stod(expect("x0"));
+      const double y0 = std::stod(expect("y0"));
+      expect(")");
+      expect("(");
+      const double x1 = std::stod(expect("x1"));
+      const double y1 = std::stod(expect("y1"));
+      def.die = Rect{x0 / upm, y0 / upm, (x1 - x0) / upm, (y1 - y0) / upm};
+    } else if (token == "COMPONENTS") {
+      const int count = std::stoi(expect("component count"));
+      expect(";");
+      for (int i = 0; i < count; ++i) {
+        if (expect("-") != "-") throw std::runtime_error("DEF: expected '-'");
+        DefComponent comp;
+        comp.name = expect("component name");
+        comp.def_name = expect("def name");
+        // Scan for "+ PLACED ( x y ) ORIENT ;"
+        while (expect("PLACED or +") != "PLACED") {
+          if (token == ";") throw std::runtime_error("DEF: component without PLACED");
+        }
+        expect("(");
+        comp.location.x = std::stod(expect("x")) / upm;
+        comp.location.y = std::stod(expect("y")) / upm;
+        expect(")");
+        comp.orientation = orientation_from_string(expect("orientation"));
+        expect(";");
+        def.components.push_back(std::move(comp));
+      }
+    } else if (token == "END") {
+      expect("section name");  // COMPONENTS / PINS / DESIGN
+    }
+    // Everything else (PINS payload etc.) is skipped token-wise.
+  }
+  return def;
+}
+
+DefContents parse_def_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  return parse_def(in);
+}
+
+std::size_t apply_def_placement(const Design& design, const DefContents& def,
+                                PlacementResult& placement) {
+  std::unordered_map<std::string, CellId> by_path;
+  for (const CellId m : design.macros()) by_path.emplace(design.cell_path(m), m);
+
+  placement.macros.clear();
+  for (const DefComponent& comp : def.components) {
+    const auto it = by_path.find(comp.name);
+    if (it == by_path.end()) {
+      HIDAP_LOG_WARN("DEF: unknown component '%s' skipped", comp.name.c_str());
+      continue;
+    }
+    const MacroDef& mdef = design.macro_def_of(it->second);
+    const Point size = oriented_size(mdef.w, mdef.h, comp.orientation);
+    placement.macros.push_back(MacroPlacement{
+        it->second, Rect{comp.location.x, comp.location.y, size.x, size.y},
+        comp.orientation});
+  }
+  placement.flow_name = "DEF";
+  return placement.macros.size();
+}
+
+}  // namespace hidap

@@ -1,0 +1,53 @@
+#pragma once
+// DEF-style placement exchange.
+//
+// Writes and reads the subset of DEF needed to hand a macro placement to
+// or from another tool: DESIGN, UNITS, DIEAREA, COMPONENTS (with PLACED
+// location + orientation) and PINS (port locations). Locations use the
+// conventional DEF integer database units (microns * units_per_micron).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/result.hpp"
+#include "netlist/netlist.hpp"
+
+namespace hidap {
+
+struct DefWriteOptions {
+  int units_per_micron = 1000;
+  bool include_pins = true;
+};
+
+/// Writes the die, all placed macros and the port locations.
+void write_def(const Design& design, const PlacementResult& placement,
+               std::ostream& out, const DefWriteOptions& options = {});
+void write_def_file(const Design& design, const PlacementResult& placement,
+                    const std::string& path, const DefWriteOptions& options = {});
+
+/// A parsed DEF component row.
+struct DefComponent {
+  std::string name;      ///< hierarchical cell path
+  std::string def_name;  ///< macro def name
+  Point location;        ///< microns
+  Orientation orientation = Orientation::R0;
+};
+
+struct DefContents {
+  std::string design_name;
+  Rect die;
+  std::vector<DefComponent> components;
+};
+
+/// Parses the subset written by write_def; throws std::runtime_error on
+/// malformed input.
+DefContents parse_def(std::istream& in);
+DefContents parse_def_file(const std::string& path);
+
+/// Re-binds parsed components to a design by hierarchical cell path.
+/// Components naming unknown cells are skipped (returned count = bound).
+std::size_t apply_def_placement(const Design& design, const DefContents& def,
+                                PlacementResult& placement);
+
+}  // namespace hidap

@@ -1,0 +1,560 @@
+#include "netlist/verilog_parser.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/string_utils.hpp"
+
+namespace hidap {
+
+namespace {
+
+// ------------------------------------------------------------------ lexer
+
+enum class TokKind { Ident, Number, Punct, End };
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::istream& in) : in_(in) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  /// Comment lines beginning with //HIDAP_ are surfaced here instead of
+  /// being skipped, so the macro header can be read.
+  const std::vector<std::string>& directives() const { return directives_; }
+
+ private:
+  void advance() {
+    skip_space_and_comments();
+    current_.line = line_;
+    const int c = in_.peek();
+    if (c == EOF) {
+      current_ = {TokKind::End, "", line_};
+      return;
+    }
+    if (std::isalpha(c) || c == '_' || c == '\\') {
+      std::string text;
+      if (c == '\\') {  // escaped identifier: up to whitespace
+        in_.get();
+        while (in_.peek() != EOF && !std::isspace(in_.peek())) {
+          text.push_back(static_cast<char>(in_.get()));
+        }
+      } else {
+        while (in_.peek() != EOF &&
+               (std::isalnum(in_.peek()) || in_.peek() == '_' || in_.peek() == '$')) {
+          text.push_back(static_cast<char>(in_.get()));
+        }
+      }
+      current_ = {TokKind::Ident, std::move(text), line_};
+      return;
+    }
+    if (std::isdigit(c) || c == '-' || c == '+') {
+      // Only a sign/dot followed by a digit begins a number; a lone '.'
+      // or '-' is punctuation (named connections use '.pin').
+      if (!std::isdigit(c)) {
+        const char sign = static_cast<char>(in_.get());
+        if (!std::isdigit(in_.peek()) && in_.peek() != '.') {
+          current_ = {TokKind::Punct, std::string(1, sign), line_};
+          return;
+        }
+        in_.unget();
+      }
+      std::string text;
+      while (in_.peek() != EOF &&
+             (std::isdigit(in_.peek()) || in_.peek() == '.' || in_.peek() == 'e' ||
+              in_.peek() == 'E' || in_.peek() == '-' || in_.peek() == '+')) {
+        text.push_back(static_cast<char>(in_.get()));
+      }
+      current_ = {TokKind::Number, std::move(text), line_};
+      return;
+    }
+    current_ = {TokKind::Punct, std::string(1, static_cast<char>(in_.get())), line_};
+  }
+
+  void skip_space_and_comments() {
+    while (true) {
+      int c = in_.peek();
+      if (c == '\n') {
+        ++line_;
+        in_.get();
+        continue;
+      }
+      if (std::isspace(c)) {
+        in_.get();
+        continue;
+      }
+      if (c == '/') {
+        in_.get();
+        if (in_.peek() == '/') {
+          in_.get();
+          std::string rest;
+          while (in_.peek() != EOF && in_.peek() != '\n') {
+            rest.push_back(static_cast<char>(in_.get()));
+          }
+          if (starts_with(rest, "HIDAP_")) directives_.push_back(rest);
+          continue;
+        }
+        if (in_.peek() == '*') {
+          in_.get();
+          int prev = 0;
+          while (in_.peek() != EOF) {
+            const int cur = in_.get();
+            if (cur == '\n') ++line_;
+            if (prev == '*' && cur == '/') break;
+            prev = cur;
+          }
+          continue;
+        }
+        in_.unget();  // a lone '/'
+        return;
+      }
+      return;
+    }
+  }
+
+  std::istream& in_;
+  Token current_;
+  int line_ = 1;
+  std::vector<std::string> directives_;
+};
+
+// --------------------------------------------------------------- AST types
+
+struct NetRef {
+  std::string name;
+  int bit = -1;  ///< -1 = scalar reference
+};
+
+struct Connection {
+  std::string pin;
+  std::optional<NetRef> net;  ///< nullopt = unconnected .pin()
+};
+
+struct Instance {
+  std::string def_name;
+  std::string inst_name;
+  std::map<std::string, double> params;
+  std::vector<Connection> conns;
+  int line = 0;
+};
+
+struct WireDecl {
+  std::string name;
+  int msb = -1, lsb = -1;  ///< -1/-1 = scalar
+  bool is_port = false;
+  bool is_output = false;
+};
+
+struct ModuleDef {
+  std::string name;
+  std::vector<std::string> port_order;
+  std::vector<WireDecl> wires;
+  std::vector<Instance> instances;
+};
+
+// ------------------------------------------------------------------ parser
+
+class Parser {
+ public:
+  explicit Parser(std::istream& in) : lex_(in) {}
+
+  std::vector<ModuleDef> parse_all() {
+    std::vector<ModuleDef> modules;
+    while (lex_.peek().kind != TokKind::End) {
+      expect_ident("module");
+      modules.push_back(parse_module());
+    }
+    return modules;
+  }
+
+  const std::vector<std::string>& directives() const { return lex_.directives(); }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    throw VerilogParseError(msg, lex_.peek().line);
+  }
+
+  Token expect(TokKind kind, const char* what) {
+    if (lex_.peek().kind != kind) fail(std::string("expected ") + what + ", got '" + lex_.peek().text + "'");
+    return lex_.take();
+  }
+
+  void expect_punct(char c) {
+    const Token t = expect(TokKind::Punct, "punctuation");
+    if (t.text[0] != c) {
+      throw VerilogParseError(std::string("expected '") + c + "', got '" + t.text + "'", t.line);
+    }
+  }
+
+  void expect_ident(const std::string& kw) {
+    const Token t = expect(TokKind::Ident, kw.c_str());
+    if (t.text != kw) throw VerilogParseError("expected '" + kw + "', got '" + t.text + "'", t.line);
+  }
+
+  bool accept_punct(char c) {
+    if (lex_.peek().kind == TokKind::Punct && lex_.peek().text[0] == c) {
+      lex_.take();
+      return true;
+    }
+    return false;
+  }
+
+  ModuleDef parse_module() {
+    ModuleDef mod;
+    mod.name = expect(TokKind::Ident, "module name").text;
+    if (accept_punct('(')) {
+      if (!accept_punct(')')) {
+        while (true) {
+          mod.port_order.push_back(expect(TokKind::Ident, "port name").text);
+          if (accept_punct(')')) break;
+          expect_punct(',');
+        }
+      }
+    }
+    expect_punct(';');
+    while (true) {
+      const Token& t = lex_.peek();
+      if (t.kind == TokKind::End) fail("unexpected end of file inside module");
+      if (t.kind != TokKind::Ident) fail("expected statement, got '" + t.text + "'");
+      if (t.text == "endmodule") {
+        lex_.take();
+        break;
+      }
+      if (t.text == "wire" || t.text == "input" || t.text == "output") {
+        parse_decl(mod);
+      } else {
+        mod.instances.push_back(parse_instance());
+      }
+    }
+    return mod;
+  }
+
+  void parse_decl(ModuleDef& mod) {
+    const Token kw = lex_.take();
+    WireDecl proto;
+    proto.is_port = (kw.text != "wire");
+    proto.is_output = (kw.text == "output");
+    if (accept_punct('[')) {
+      proto.msb = static_cast<int>(parse_number());
+      expect_punct(':');
+      proto.lsb = static_cast<int>(parse_number());
+      expect_punct(']');
+    }
+    while (true) {
+      WireDecl d = proto;
+      d.name = expect(TokKind::Ident, "wire name").text;
+      mod.wires.push_back(std::move(d));
+      if (accept_punct(';')) break;
+      expect_punct(',');
+    }
+  }
+
+  double parse_number() {
+    const Token t = expect(TokKind::Number, "number");
+    try {
+      return std::stod(t.text);
+    } catch (const std::exception&) {
+      throw VerilogParseError("bad number '" + t.text + "'", t.line);
+    }
+  }
+
+  Instance parse_instance() {
+    Instance inst;
+    inst.line = lex_.peek().line;
+    inst.def_name = expect(TokKind::Ident, "instance type").text;
+    if (accept_punct('#')) {
+      expect_punct('(');
+      if (!accept_punct(')')) {
+        while (true) {
+          expect_punct('.');
+          const std::string key = expect(TokKind::Ident, "parameter name").text;
+          expect_punct('(');
+          inst.params[key] = parse_number();
+          expect_punct(')');
+          if (accept_punct(')')) break;
+          expect_punct(',');
+        }
+      }
+    }
+    inst.inst_name = expect(TokKind::Ident, "instance name").text;
+    expect_punct('(');
+    if (!accept_punct(')')) {
+      while (true) {
+        expect_punct('.');
+        Connection conn;
+        conn.pin = expect(TokKind::Ident, "pin name").text;
+        expect_punct('(');
+        if (!accept_punct(')')) {
+          NetRef ref;
+          ref.name = expect(TokKind::Ident, "net name").text;
+          if (accept_punct('[')) {
+            ref.bit = static_cast<int>(parse_number());
+            expect_punct(']');
+          }
+          conn.net = ref;
+          expect_punct(')');
+        }
+        inst.conns.push_back(std::move(conn));
+        if (accept_punct(')')) break;
+        expect_punct(',');
+      }
+    }
+    expect_punct(';');
+    return inst;
+  }
+
+  Lexer lex_;
+};
+
+// -------------------------------------------------------------- elaborator
+
+bool is_primitive(const std::string& def_name) {
+  return starts_with(def_name, "HIDAP_");
+}
+
+// Output pins: O*, Q* on primitives.
+bool primitive_pin_is_output(const std::string& pin) {
+  return !pin.empty() && (pin[0] == 'O' || pin[0] == 'Q');
+}
+
+class Elaborator {
+ public:
+  Elaborator(const std::vector<ModuleDef>& modules,
+             const std::vector<std::string>& directives)
+      : modules_(modules) {
+    for (const ModuleDef& m : modules_) by_name_[m.name] = &m;
+    parse_directives(directives);
+  }
+
+  Design elaborate() {
+    const ModuleDef& top = find_top();
+    Design design(top.name);
+    design.set_die(die_);
+    for (MacroDef& def : macro_defs_) design.library().add(def);
+    std::unordered_map<std::string, NetId> no_bindings;
+    elaborate_module(design, top, design.root(), no_bindings);
+    return design;
+  }
+
+ private:
+  void parse_directives(const std::vector<std::string>& directives) {
+    for (const std::string& d : directives) {
+      std::istringstream ss(d);
+      std::string tag;
+      ss >> tag;
+      if (tag == "HIDAP_MACRO") {
+        MacroDef def;
+        ss >> def.name >> def.w >> def.h;
+        macro_defs_.push_back(std::move(def));
+      } else if (tag == "HIDAP_PIN") {
+        std::string macro_name;
+        MacroPin pin;
+        int is_out = 0;
+        ss >> macro_name >> pin.name >> pin.offset.x >> pin.offset.y >> pin.bits >> is_out;
+        pin.is_output = is_out != 0;
+        for (MacroDef& def : macro_defs_) {
+          if (def.name == macro_name) {
+            def.pins.push_back(pin);
+            break;
+          }
+        }
+      } else if (tag == "HIDAP_DIE") {
+        ss >> die_.w >> die_.h;
+      }
+    }
+  }
+
+  const ModuleDef& find_top() const {
+    std::unordered_set<std::string> instantiated;
+    for (const ModuleDef& m : modules_) {
+      for (const Instance& inst : m.instances) {
+        if (!is_primitive(inst.def_name)) instantiated.insert(inst.def_name);
+      }
+    }
+    const ModuleDef* top = nullptr;
+    for (const ModuleDef& m : modules_) {
+      if (instantiated.count(m.name)) continue;
+      if (top) throw VerilogParseError("multiple top modules: " + top->name + ", " + m.name, 0);
+      top = &m;
+    }
+    if (!top) throw VerilogParseError("no top module found", 0);
+    return *top;
+  }
+
+  // Bit-blasted local net name.
+  static std::string bit_name(const std::string& base, int bit) {
+    return bit < 0 ? base : base + "[" + std::to_string(bit) + "]";
+  }
+
+  // Elaborates `mod` into hierarchy node `hier`. `bindings` maps this
+  // module's port bit names to already-created parent nets.
+  void elaborate_module(Design& design, const ModuleDef& mod, HierId hier,
+                        std::unordered_map<std::string, NetId>& bindings) {
+    std::unordered_map<std::string, NetId> local = bindings;
+    // Declare local nets for all wires (and unbound ports).
+    for (const WireDecl& w : mod.wires) {
+      const int lo = w.msb < 0 ? -1 : std::min(w.msb, w.lsb);
+      const int hi = w.msb < 0 ? -1 : std::max(w.msb, w.lsb);
+      for (int b = lo; b <= hi; ++b) {
+        const std::string name = bit_name(w.name, b);
+        if (!local.count(name)) {
+          local[name] = design.add_net(design.hier_path(hier) + "/" + name);
+        }
+      }
+    }
+    auto resolve = [&](const NetRef& ref, int line) -> NetId {
+      const std::string name = bit_name(ref.name, ref.bit);
+      auto it = local.find(name);
+      if (it != local.end()) return it->second;
+      // Implicit scalar net (plain Verilog allows it).
+      if (ref.bit >= 0) throw VerilogParseError("undeclared vector net " + name, line);
+      const NetId id = design.add_net(design.hier_path(hier) + "/" + name);
+      local[name] = id;
+      return id;
+    };
+
+    for (const Instance& inst : mod.instances) {
+      if (is_primitive(inst.def_name)) {
+        elaborate_primitive(design, inst, hier, resolve);
+      } else if (const MacroDefId mid = design.library().id_of(inst.def_name);
+                 mid != kNoMacroDef) {
+        elaborate_macro(design, inst, hier, mid, resolve);
+      } else {
+        const auto it = by_name_.find(inst.def_name);
+        if (it == by_name_.end()) {
+          throw VerilogParseError("unknown module '" + inst.def_name + "'", inst.line);
+        }
+        const ModuleDef& child = *it->second;
+        const HierId child_hier = design.add_hier(hier, inst.inst_name);
+        // Bind child's port names to parent nets.
+        std::unordered_map<std::string, NetId> child_bind;
+        for (const Connection& conn : inst.conns) {
+          if (!conn.net) continue;
+          // Formal may be a vector port: bind bit 0..n via declared range.
+          const WireDecl* decl = nullptr;
+          for (const WireDecl& w : child.wires) {
+            if (w.is_port && w.name == conn.pin) {
+              decl = &w;
+              break;
+            }
+          }
+          if (decl && decl->msb >= 0) {
+            throw VerilogParseError(
+                "vector port binding unsupported for port '" + conn.pin + "'", inst.line);
+          }
+          child_bind[conn.pin] = resolve(*conn.net, inst.line);
+        }
+        elaborate_module(design, child, child_hier, child_bind);
+      }
+    }
+  }
+
+  template <typename Resolve>
+  void elaborate_primitive(Design& design, const Instance& inst, HierId hier,
+                           Resolve&& resolve) {
+    double area = 0.0;
+    if (const auto it = inst.params.find("AREA"); it != inst.params.end()) {
+      area = it->second;
+    }
+    CellKind kind;
+    if (inst.def_name == "HIDAP_DFF") {
+      kind = CellKind::Flop;
+    } else if (inst.def_name == "HIDAP_COMB") {
+      kind = CellKind::Comb;
+    } else if (inst.def_name == "HIDAP_PIN_IN") {
+      kind = CellKind::PortIn;
+    } else if (inst.def_name == "HIDAP_PIN_OUT") {
+      kind = CellKind::PortOut;
+    } else {
+      throw VerilogParseError("unknown primitive '" + inst.def_name + "'", inst.line);
+    }
+    const CellId cell = design.add_cell(hier, inst.inst_name, kind, area);
+    if (is_port(kind)) {
+      Point pos;
+      if (const auto it = inst.params.find("X"); it != inst.params.end()) pos.x = it->second;
+      if (const auto it = inst.params.find("Y"); it != inst.params.end()) pos.y = it->second;
+      design.cell_mutable(cell).fixed_pos = pos;
+    }
+    for (const Connection& conn : inst.conns) {
+      if (!conn.net) continue;
+      const NetId net = resolve(*conn.net, inst.line);
+      if (primitive_pin_is_output(conn.pin)) {
+        design.set_driver(net, cell);
+      } else {
+        design.add_sink(net, cell);
+      }
+    }
+  }
+
+  template <typename Resolve>
+  void elaborate_macro(Design& design, const Instance& inst, HierId hier, MacroDefId mid,
+                       Resolve&& resolve) {
+    const CellId cell = design.add_cell(hier, inst.inst_name, CellKind::Macro, 0.0, mid);
+    const MacroDef& def = design.library().def(mid);
+    for (const Connection& conn : inst.conns) {
+      if (!conn.net) continue;
+      const int pin = def.pin_index(conn.pin);
+      if (pin < 0) {
+        throw VerilogParseError(
+            "macro '" + def.name + "' has no pin '" + conn.pin + "'", inst.line);
+      }
+      const MacroPin& mp = def.pins[static_cast<std::size_t>(pin)];
+      const NetId net = resolve(*conn.net, inst.line);
+      if (mp.is_output) {
+        design.set_driver(net, cell, static_cast<float>(mp.offset.x),
+                          static_cast<float>(mp.offset.y));
+      } else {
+        design.add_sink(net, cell, static_cast<float>(mp.offset.x),
+                        static_cast<float>(mp.offset.y));
+      }
+    }
+  }
+
+  const std::vector<ModuleDef>& modules_;
+  std::unordered_map<std::string, const ModuleDef*> by_name_;
+  std::vector<MacroDef> macro_defs_;
+  Die die_;
+};
+
+}  // namespace
+
+Design parse_verilog(std::istream& in) {
+  Parser parser(in);
+  const std::vector<ModuleDef> modules = parser.parse_all();
+  if (modules.empty()) throw VerilogParseError("empty netlist", 0);
+  Elaborator elab(modules, parser.directives());
+  return elab.elaborate();
+}
+
+Design parse_verilog_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return parse_verilog(in);
+}
+
+Design parse_verilog_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_verilog(in);
+}
+
+}  // namespace hidap

@@ -1,0 +1,43 @@
+#pragma once
+// Parser for the hidap structural-Verilog subset (see verilog_writer.hpp).
+//
+// Supports: module definitions with port lists, input/output/wire
+// declarations (scalar and [msb:lsb] vectors), primitive and module
+// instances with named connections (.pin(net) / .pin(net[idx]) / .pin()),
+// instance parameter lists #(.KEY(value)), and the //HIDAP_MACRO /
+// //HIDAP_PIN / //HIDAP_DIE comment headers carrying macro geometry.
+//
+// The top module is the one never instantiated; it is elaborated
+// recursively into a flattened Design with a hierarchy tree mirroring the
+// instance tree.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace hidap {
+
+class VerilogParseError : public std::runtime_error {
+ public:
+  VerilogParseError(const std::string& msg, int line)
+      : std::runtime_error("verilog parse error at line " + std::to_string(line) +
+                           ": " + msg),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parses the given stream; throws VerilogParseError on malformed input.
+Design parse_verilog(std::istream& in);
+
+/// Parses a file; throws std::runtime_error when the file cannot be read.
+Design parse_verilog_file(const std::string& path);
+
+/// Parses from a string (handy for tests).
+Design parse_verilog_string(const std::string& text);
+
+}  // namespace hidap

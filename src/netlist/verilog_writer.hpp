@@ -1,0 +1,30 @@
+#pragma once
+// Structural-Verilog writer for hidap designs.
+//
+// The emitted subset ("hidap structural verilog") is plain gate-level
+// Verilog with these primitives:
+//   HIDAP_COMB #(.AREA(a))  (.I0(..), .I1(..), ..., .O0(..))
+//   HIDAP_DFF  #(.AREA(a))  (.D0(..), ..., .Q0(..), ...)
+//   HIDAP_PIN_IN  #(.X(x), .Y(y)) (.O0(..))   // top-level input pad
+//   HIDAP_PIN_OUT #(.X(x), .Y(y)) (.I0(..))   // top-level output pad
+//   <macro def name>        (.<pin name>(..), ...)
+// plus one uniquified module per hierarchy node. Nets are declared at the
+// lowest common ancestor of their pins and exported through module ports
+// where they cross hierarchy boundaries, so the RTL hierarchy survives a
+// write/parse round trip bit-exactly.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace hidap {
+
+/// Writes the whole design (including macro definitions as a comment
+/// header consumed by the parser) to `out`.
+void write_verilog(const Design& design, std::ostream& out);
+
+/// Convenience: writes to a file; throws std::runtime_error on IO failure.
+void write_verilog_file(const Design& design, const std::string& path);
+
+}  // namespace hidap

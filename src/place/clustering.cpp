@@ -1,0 +1,75 @@
+#include "place/clustering.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace hidap {
+
+namespace {
+
+double std_cell_area(const HierTree& ht, HtNodeId n) {
+  const HtNode& node = ht.node(n);
+  return node.subtree_area - node.subtree_macro_area;
+}
+
+}  // namespace
+
+Clustering cluster_cells(const Design& design, const HierTree& ht, int target_clusters) {
+  Clustering out;
+  out.cluster_of.assign(design.cell_count(), -1);
+
+  double total_std_area = 0.0;
+  for (const Cell& c : design.cells()) {
+    if (c.kind == CellKind::Flop || c.kind == CellKind::Comb) total_std_area += c.area;
+  }
+  const double threshold =
+      total_std_area / std::max(1, target_clusters);
+
+  const auto flush = [&](CellCluster&& cluster) {
+    if (cluster.cells.empty()) return;
+    const int idx = static_cast<int>(out.clusters.size());
+    for (const CellId c : cluster.cells) out.cluster_of[static_cast<std::size_t>(c)] = idx;
+    out.clusters.push_back(std::move(cluster));
+  };
+  // Oversized groups (flat glue modules can dwarf the threshold) are
+  // chunked so every cluster stays near the target granularity --
+  // spreading cannot legalize clusters larger than a grid bin.
+  const auto add_cluster = [&](const std::vector<CellId>& cells, HtNodeId anchor) {
+    CellCluster cluster;
+    cluster.node = anchor;
+    for (const CellId c : cells) {
+      const CellKind kind = design.cell(c).kind;
+      if (kind != CellKind::Flop && kind != CellKind::Comb) continue;
+      cluster.cells.push_back(c);
+      cluster.area += design.cell(c).area;
+      if (cluster.area >= threshold) {
+        flush(std::move(cluster));
+        cluster = CellCluster{};
+        cluster.node = anchor;
+      }
+    }
+    flush(std::move(cluster));
+  };
+
+  // Top-down: close a subtree into one cluster once it is small enough;
+  // otherwise the node's own cells form a cluster and children recurse.
+  std::vector<HtNodeId> stack = {ht.root()};
+  while (!stack.empty()) {
+    const HtNodeId n = stack.back();
+    stack.pop_back();
+    const HtNode& node = ht.node(n);
+    if (node.is_macro_leaf()) continue;
+    if (std_cell_area(ht, n) <= threshold || node.children.empty()) {
+      add_cluster(ht.cells_under(n), n);
+      continue;
+    }
+    add_cluster(node.own_cells, n);
+    for (const HtNodeId c : node.children) stack.push_back(c);
+  }
+  HIDAP_LOG_DEBUG("clustering: %zu clusters for %zu cells (threshold %.0f um^2)",
+                  out.clusters.size(), design.cell_count(), threshold);
+  return out;
+}
+
+}  // namespace hidap

@@ -1,0 +1,37 @@
+#pragma once
+// Cell-density maps (paper Fig. 9): standard-cell and macro area per grid
+// bin, normalized by bin area.
+
+#include <vector>
+
+#include "place/quadratic_placer.hpp"
+
+namespace hidap {
+
+struct DensityMap {
+  int nx = 0, ny = 0;
+  std::vector<double> cell;   ///< std-cell utilization per bin (0..inf)
+  std::vector<double> macro;  ///< macro coverage per bin (0..1)
+
+  double at_cell(int x, int y) const { return cell[static_cast<std::size_t>(y) * nx + x]; }
+  double at_macro(int x, int y) const { return macro[static_cast<std::size_t>(y) * nx + x]; }
+  double peak_cell_density() const;
+  /// Peak std-cell density over bins adjacent to macro area -- the metric
+  /// the paper discusses qualitatively for Fig. 9 ("smallest peak cell
+  /// density near the macros").
+  double peak_density_near_macros() const;
+  /// Mean std-cell density over the same "near macros" bins; less noisy
+  /// than the peak for flow comparisons.
+  double mean_density_near_macros() const;
+
+ private:
+  // Visits the std-cell density of every non-macro bin within 2 bins of
+  // macro area (implementation in density.cpp; used only there).
+  template <typename Fn>
+  void for_each_near_macro_bin(Fn&& fn) const;
+};
+
+DensityMap compute_density(const PlacedDesign& placed, int grid = 64);
+
+
+}  // namespace hidap

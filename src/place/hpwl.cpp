@@ -1,0 +1,41 @@
+#include "place/hpwl.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hidap {
+
+double net_hpwl(const PlacedDesign& placed, NetId net_id) {
+  const Net& net = placed.design().net(net_id);
+  double xmin = std::numeric_limits<double>::max(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  int endpoints = 0;
+  const auto absorb = [&](const NetPin& p) {
+    const Point pos = placed.pin_position(p);
+    xmin = std::min(xmin, pos.x);
+    xmax = std::max(xmax, pos.x);
+    ymin = std::min(ymin, pos.y);
+    ymax = std::max(ymax, pos.y);
+    ++endpoints;
+  };
+  if (net.driver.cell != kInvalidId) absorb(net.driver);
+  for (const NetPin& p : net.sinks) absorb(p);
+  if (endpoints < 2) return 0.0;
+  return (xmax - xmin) + (ymax - ymin);
+}
+
+WirelengthReport total_hpwl(const PlacedDesign& placed) {
+  WirelengthReport report;
+  const std::size_t n = placed.design().net_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double wl = net_hpwl(placed, static_cast<NetId>(i));
+    if (wl > 0 || placed.design().net(static_cast<NetId>(i)).degree() >= 2) {
+      ++report.nets;
+    }
+    report.total_um += wl;
+  }
+  report.total_m = report.total_um * 1e-6;
+  return report;
+}
+
+}  // namespace hidap

@@ -1,0 +1,102 @@
+#include "route/congestion.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hidap {
+
+CongestionReport estimate_congestion(const PlacedDesign& placed,
+                                     const CongestionOptions& options) {
+  const Rect die = placed.die();
+  const int g = options.grid;
+  const double bw = die.w / g, bh = die.h / g;
+
+  // Horizontal edges: between (x,y) and (x+1,y); vertical likewise.
+  std::vector<double> hdemand(static_cast<std::size_t>(g) * g, 0.0);
+  std::vector<double> vdemand(static_cast<std::size_t>(g) * g, 0.0);
+  std::vector<double> hcap(static_cast<std::size_t>(g) * g, bh * options.tracks_per_um);
+  std::vector<double> vcap(static_cast<std::size_t>(g) * g, bw * options.tracks_per_um);
+
+  // Derate capacity over macros.
+  for (const CellId m : placed.design().macros()) {
+    const MacroPlacement* mp = placed.macro_of(m);
+    if (!mp) continue;
+    const int x0 = std::clamp(static_cast<int>((mp->rect.x - die.x) / bw), 0, g - 1);
+    const int x1 = std::clamp(static_cast<int>((mp->rect.xmax() - die.x) / bw), 0, g - 1);
+    const int y0 = std::clamp(static_cast<int>((mp->rect.y - die.y) / bh), 0, g - 1);
+    const int y1 = std::clamp(static_cast<int>((mp->rect.ymax() - die.y) / bh), 0, g - 1);
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        const Rect bin{die.x + x * bw, die.y + y * bh, bw, bh};
+        const double frac = bin.overlap_area(mp->rect) / bin.area();
+        const double derate = 1.0 - options.macro_blockage * frac;
+        hcap[static_cast<std::size_t>(y) * g + x] *= derate;
+        vcap[static_cast<std::size_t>(y) * g + x] *= derate;
+      }
+    }
+  }
+
+  // Net demand over bounding boxes.
+  CongestionReport report;
+  const Design& design = placed.design();
+  for (std::size_t n = 0; n < design.net_count(); ++n) {
+    const Net& net = design.net(static_cast<NetId>(n));
+    if (net.degree() < 2) continue;
+    double xmin = std::numeric_limits<double>::max(), xmax = -xmin;
+    double ymin = xmin, ymax = -xmin;
+    const auto absorb = [&](const NetPin& p) {
+      const Point pos = placed.pin_position(p);
+      xmin = std::min(xmin, pos.x);
+      xmax = std::max(xmax, pos.x);
+      ymin = std::min(ymin, pos.y);
+      ymax = std::max(ymax, pos.y);
+    };
+    if (net.driver.cell != kInvalidId) absorb(net.driver);
+    for (const NetPin& p : net.sinks) absorb(p);
+
+    const int x0 = std::clamp(static_cast<int>((xmin - die.x) / bw), 0, g - 1);
+    const int x1 = std::clamp(static_cast<int>((xmax - die.x) / bw), 0, g - 1);
+    const int y0 = std::clamp(static_cast<int>((ymin - die.y) / bh), 0, g - 1);
+    const int y1 = std::clamp(static_cast<int>((ymax - die.y) / bh), 0, g - 1);
+    const int rows = y1 - y0 + 1;
+    const int cols = x1 - x0 + 1;
+    // One horizontal traversal spread over the rows of the box, one
+    // vertical traversal spread over the columns.
+    if (cols > 1) {
+      const double per_row = 1.0 / rows;
+      for (int y = y0; y <= y1; ++y) {
+        for (int x = x0; x < x1; ++x) {
+          hdemand[static_cast<std::size_t>(y) * g + x] += per_row;
+          report.total_demand += per_row;
+        }
+      }
+    }
+    if (rows > 1) {
+      const double per_col = 1.0 / cols;
+      for (int x = x0; x <= x1; ++x) {
+        for (int y = y0; y < y1; ++y) {
+          vdemand[static_cast<std::size_t>(y) * g + x] += per_col;
+          report.total_demand += per_col;
+        }
+      }
+    }
+  }
+
+  long edges = 0, overflowed = 0;
+  const auto tally = [&](const std::vector<double>& demand,
+                         const std::vector<double>& cap) {
+    for (std::size_t i = 0; i < demand.size(); ++i) {
+      if (cap[i] <= 0) continue;
+      ++edges;
+      const double ratio = demand[i] / cap[i];
+      report.worst_overflow = std::max(report.worst_overflow, ratio);
+      if (ratio > 1.0) ++overflowed;
+    }
+  };
+  tally(hdemand, hcap);
+  tally(vdemand, vcap);
+  report.grc_percent = edges > 0 ? 100.0 * overflowed / edges : 0.0;
+  return report;
+}
+
+}  // namespace hidap

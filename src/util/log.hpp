@@ -1,0 +1,31 @@
+#pragma once
+// Leveled logging for the hidap library.
+//
+// Output goes to stderr so that tables printed by benches on stdout stay
+// machine-readable. The level is process-global; benches lower it to
+// Warn, tests usually leave it at Info.
+
+#include <cstdio>
+#include <string>
+
+namespace hidap {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
+
+/// Sets the global log threshold. Messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging entry point; prefer the HIDAP_LOG_* macros.
+void log_message(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+}  // namespace hidap
+
+#define HIDAP_LOG_DEBUG(...) ::hidap::log_message(::hidap::LogLevel::Debug, __VA_ARGS__)
+#define HIDAP_LOG_INFO(...) ::hidap::log_message(::hidap::LogLevel::Info, __VA_ARGS__)
+#define HIDAP_LOG_WARN(...) ::hidap::log_message(::hidap::LogLevel::Warn, __VA_ARGS__)
+#define HIDAP_LOG_ERROR(...) ::hidap::log_message(::hidap::LogLevel::Error, __VA_ARGS__)

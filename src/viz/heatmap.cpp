@@ -1,0 +1,67 @@
+#include "viz/heatmap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace hidap {
+
+namespace {
+struct Color {
+  int r, g, b;
+};
+
+// Blue (cold) -> green -> red (hot).
+Color ramp(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  if (t < 0.5) {
+    const double u = t * 2;
+    return {static_cast<int>(30 + 50 * u), static_cast<int>(60 + 160 * u),
+            static_cast<int>(200 - 120 * u)};
+  }
+  const double u = (t - 0.5) * 2;
+  return {static_cast<int>(80 + 170 * u), static_cast<int>(220 - 170 * u),
+          static_cast<int>(80 - 50 * u)};
+}
+}  // namespace
+
+void write_density_ppm(const DensityMap& map, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << "P3\n" << map.nx << ' ' << map.ny << "\n255\n";
+  const double peak = std::max(1e-9, map.peak_cell_density());
+  for (int y = map.ny - 1; y >= 0; --y) {  // top row first
+    for (int x = 0; x < map.nx; ++x) {
+      if (map.at_macro(x, y) > 0.5) {
+        const int g = 70 + static_cast<int>(40 * (1.0 - map.at_macro(x, y)));
+        out << g << ' ' << g << ' ' << g << ' ';
+      } else {
+        const Color c = ramp(map.at_cell(x, y) / peak);
+        out << c.r << ' ' << c.g << ' ' << c.b << ' ';
+      }
+    }
+    out << '\n';
+  }
+}
+
+void write_density_csv(const DensityMap& map, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << "# cell density (row 0 = bottom), macro coverage appended after blank line\n";
+  for (int y = 0; y < map.ny; ++y) {
+    for (int x = 0; x < map.nx; ++x) {
+      out << (x ? "," : "") << map.at_cell(x, y);
+    }
+    out << '\n';
+  }
+  out << '\n';
+  for (int y = 0; y < map.ny; ++y) {
+    for (int x = 0; x < map.nx; ++x) {
+      out << (x ? "," : "") << map.at_macro(x, y);
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace hidap

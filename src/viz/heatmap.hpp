@@ -1,0 +1,17 @@
+#pragma once
+// Density-map export (paper Fig. 9): PPM images with a blue->red ramp for
+// standard-cell density and gray overlay for macros, plus raw CSV.
+
+#include <string>
+
+#include "place/density.hpp"
+
+namespace hidap {
+
+/// Writes a binary-free ASCII PPM (P3) heatmap.
+void write_density_ppm(const DensityMap& map, const std::string& path);
+
+/// Raw values for plotting (one row per grid line, comma separated).
+void write_density_csv(const DensityMap& map, const std::string& path);
+
+}  // namespace hidap

@@ -1,0 +1,141 @@
+#include "viz/svg.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace hidap {
+
+namespace {
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+}  // namespace
+
+SvgWriter::SvgWriter(Rect viewbox, double pixels_wide)
+    : box_(viewbox), scale_(pixels_wide / std::max(1e-9, viewbox.w)) {}
+
+void SvgWriter::add_rect(const Rect& r, const std::string& fill,
+                         const std::string& stroke, double opacity,
+                         double stroke_width) {
+  body_ += "<rect x=\"" + fmt(sx(r.x)) + "\" y=\"" + fmt(sy(r.ymax())) + "\" width=\"" +
+           fmt(r.w * scale_) + "\" height=\"" + fmt(r.h * scale_) + "\" fill=\"" + fill +
+           "\" stroke=\"" + stroke + "\" stroke-width=\"" + fmt(stroke_width) +
+           "\" fill-opacity=\"" + fmt(opacity) + "\"/>\n";
+}
+
+void SvgWriter::add_line(const Point& a, const Point& b, const std::string& color,
+                         double width, double opacity) {
+  body_ += "<line x1=\"" + fmt(sx(a.x)) + "\" y1=\"" + fmt(sy(a.y)) + "\" x2=\"" +
+           fmt(sx(b.x)) + "\" y2=\"" + fmt(sy(b.y)) + "\" stroke=\"" + color +
+           "\" stroke-width=\"" + fmt(width) + "\" stroke-opacity=\"" + fmt(opacity) +
+           "\"/>\n";
+}
+
+void SvgWriter::add_arrow(const Point& a, const Point& b, const std::string& color,
+                          double width, double opacity) {
+  add_line(a, b, color, width, opacity);
+  // Simple arrow head: two short strokes at the tip.
+  const double dx = b.x - a.x, dy = b.y - a.y;
+  const double len = std::hypot(dx, dy);
+  if (len < 1e-9) return;
+  const double ux = dx / len, uy = dy / len;
+  const double head = std::min(len * 0.25, 12.0 / scale_);
+  const Point left{b.x - head * (ux * 0.866 - uy * 0.5),
+                   b.y - head * (uy * 0.866 + ux * 0.5)};
+  const Point right{b.x - head * (ux * 0.866 + uy * 0.5),
+                    b.y - head * (uy * 0.866 - ux * 0.5)};
+  add_line(b, left, color, width, opacity);
+  add_line(b, right, color, width, opacity);
+}
+
+void SvgWriter::add_text(const Point& at, const std::string& text, double size_px,
+                         const std::string& color) {
+  body_ += "<text x=\"" + fmt(sx(at.x)) + "\" y=\"" + fmt(sy(at.y)) + "\" font-size=\"" +
+           fmt(size_px) + "\" fill=\"" + color + "\" font-family=\"sans-serif\">" + text +
+           "</text>\n";
+}
+
+void SvgWriter::add_circle(const Point& at, double r, const std::string& fill) {
+  body_ += "<circle cx=\"" + fmt(sx(at.x)) + "\" cy=\"" + fmt(sy(at.y)) + "\" r=\"" +
+           fmt(r * scale_) + "\" fill=\"" + fill + "\"/>\n";
+}
+
+std::string SvgWriter::str() const {
+  const double w = box_.w * scale_, h = box_.h * scale_;
+  return "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" + fmt(w) + "\" height=\"" +
+         fmt(h) + "\" viewBox=\"0 0 " + fmt(w) + " " + fmt(h) + "\">\n" +
+         "<rect width=\"100%\" height=\"100%\" fill=\"#fbfbf8\"/>\n" + body_ + "</svg>\n";
+}
+
+void SvgWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << str();
+}
+
+void write_placement_svg(const Design& design, const PlacementResult& result,
+                         const std::string& path) {
+  const Rect die{0, 0, design.die().w, design.die().h};
+  SvgWriter svg(die);
+  svg.add_rect(die, "#ffffff", "#333333", 1.0, 2.0);
+  for (const MacroPlacement& m : result.macros) {
+    svg.add_rect(m.rect, "#5b7aa0", "#1e2f45", 0.9, 1.0);
+  }
+  for (const CellId p : design.ports()) {
+    if (design.cell(p).fixed_pos) {
+      svg.add_circle(*design.cell(p).fixed_pos, die.w * 0.004, "#c0392b");
+    }
+  }
+  svg.save(path);
+}
+
+void write_snapshot_svg(const Design& design, const LevelSnapshot& snapshot,
+                        const std::string& path) {
+  const Rect die{0, 0, design.die().w, design.die().h};
+  SvgWriter svg(die);
+  svg.add_rect(die, "#ffffff", "#999999", 1.0, 1.0);
+  svg.add_rect(snapshot.region, "#ffffff", "#333333", 1.0, 2.0);
+  for (std::size_t b = 0; b < snapshot.block_rects.size(); ++b) {
+    const bool has_macros = snapshot.block_macro_counts[b] > 0;
+    svg.add_rect(snapshot.block_rects[b], has_macros ? "#8d99ae" : "#e9ecef", "#444444",
+                 0.95, 1.0);
+    if (has_macros) {
+      svg.add_text(Point{snapshot.block_rects[b].x + snapshot.block_rects[b].w * 0.08,
+                         snapshot.block_rects[b].center().y},
+                   std::to_string(snapshot.block_macro_counts[b]), 14.0, "#10131a");
+    }
+  }
+  svg.save(path);
+}
+
+void write_gdf_svg(const DataflowGraph& gdf, const AffinityMatrix& affinity,
+                   const std::vector<Rect>& block_rects, const Rect& region,
+                   const std::string& path) {
+  SvgWriter svg(region);
+  svg.add_rect(region, "#ffffff", "#333333", 1.0, 2.0);
+  const char* palette[] = {"#e07a5f", "#3d405b", "#81b29a", "#f2cc8f",
+                           "#577590", "#bc6c25", "#6d597a", "#2a9d8f"};
+  const double max_aff = affinity.max_value() > 0 ? affinity.max_value() : 1.0;
+  for (std::size_t b = 0; b < block_rects.size(); ++b) {
+    svg.add_rect(block_rects[b], palette[b % 8], "#222222", 0.75, 1.0);
+    svg.add_text(Point{block_rects[b].x + block_rects[b].w * 0.05,
+                       block_rects[b].ymax() - block_rects[b].h * 0.12},
+                 gdf.node(static_cast<DfNodeId>(b)).name, 11.0);
+  }
+  for (std::size_t i = 0; i < block_rects.size(); ++i) {
+    for (std::size_t j = i + 1; j < block_rects.size(); ++j) {
+      const double a = affinity.at(i, j);
+      if (a <= 1e-6 * max_aff) continue;
+      const double t = a / max_aff;
+      svg.add_arrow(block_rects[i].center(), block_rects[j].center(), "#c1121f",
+                    1.0 + 5.0 * t, 0.25 + 0.75 * t);
+    }
+  }
+  svg.save(path);
+}
+
+}  // namespace hidap

@@ -1,0 +1,58 @@
+#pragma once
+// SVG output: placed floorplans, recursion snapshots (paper Fig. 1) and
+// Gdf block diagrams with affinity arrows (paper Fig. 9d, the
+// "interactive graphic tool" the authors built for back-end engineers).
+
+#include <string>
+#include <vector>
+
+#include "core/result.hpp"
+#include "dataflow/affinity.hpp"
+#include "dataflow/dataflow_graph.hpp"
+#include "geometry/geometry.hpp"
+#include "netlist/netlist.hpp"
+
+namespace hidap {
+
+/// Minimal SVG document builder (y axis flipped to math convention).
+class SvgWriter {
+ public:
+  SvgWriter(Rect viewbox, double pixels_wide = 800.0);
+
+  void add_rect(const Rect& r, const std::string& fill, const std::string& stroke,
+                double opacity = 1.0, double stroke_width = 1.0);
+  void add_line(const Point& a, const Point& b, const std::string& color,
+                double width = 1.0, double opacity = 1.0);
+  void add_arrow(const Point& a, const Point& b, const std::string& color,
+                 double width = 1.0, double opacity = 1.0);
+  void add_text(const Point& at, const std::string& text, double size_px = 12.0,
+                const std::string& color = "#222222");
+  void add_circle(const Point& at, double r, const std::string& fill);
+
+  std::string str() const;
+  void save(const std::string& path) const;
+
+ private:
+  double sx(double x) const { return (x - box_.x) * scale_; }
+  double sy(double y) const { return (box_.ymax() - y) * scale_; }
+  Rect box_;
+  double scale_;
+  std::string body_;
+};
+
+/// Die + macros (+ ports) of a finished placement.
+void write_placement_svg(const Design& design, const PlacementResult& result,
+                         const std::string& path);
+
+/// One recursion-level snapshot: block rectangles shaded by macro content
+/// (dark = has macros, light = cells only), as in Fig. 1.
+void write_snapshot_svg(const Design& design, const LevelSnapshot& snapshot,
+                        const std::string& path);
+
+/// Gdf block diagram: block rectangles plus affinity arrows whose width /
+/// brightness encodes the affinity value (Fig. 9d style).
+void write_gdf_svg(const DataflowGraph& gdf, const AffinityMatrix& affinity,
+                   const std::vector<Rect>& block_rects, const Rect& region,
+                   const std::string& path);
+
+}  // namespace hidap

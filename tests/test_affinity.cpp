@@ -1,0 +1,117 @@
+// Affinity-matrix tests: lambda blending of block/macro flow, latency
+// decay, symmetry, normalization.
+
+#include <gtest/gtest.h>
+
+#include "dataflow/affinity.hpp"
+
+namespace hidap {
+namespace {
+
+// Two blocks with both flows: block flow 16 bits @ latency 2, macro flow
+// 32 bits @ latency 4 (the Fig. 7 fixture numbers).
+struct BlendFixture {
+  SeqGraph seq;
+  DataflowGraph gdf{seq};
+
+  BlendFixture() {
+    const auto mk = [&](SeqKind kind, int width) {
+      SeqNode n;
+      n.kind = kind;
+      n.width = width;
+      return seq.add_node(n);
+    };
+    const SeqNodeId ma = mk(SeqKind::Macro, 64);
+    const SeqNodeId ra = mk(SeqKind::Register, 32);
+    const SeqNodeId g = mk(SeqKind::Register, 16);
+    const SeqNodeId rb = mk(SeqKind::Register, 32);
+    const SeqNodeId mb = mk(SeqKind::Macro, 64);
+    seq.add_edge(ma, ra, 32, 1);
+    seq.add_edge(ra, g, 16, 2);
+    seq.add_edge(g, rb, 16, 1);
+    seq.add_edge(rb, mb, 32, 0);
+    seq.build_adjacency();
+    gdf = DataflowGraph(seq);
+    gdf.add_node({DfKind::Block, "A", {ma, ra}, false, {}});
+    gdf.add_node({DfKind::Block, "B", {rb, mb}, false, {}});
+    gdf.infer_edges();
+  }
+};
+
+TEST(Affinity, PureBlockFlowAtLambdaOne) {
+  BlendFixture fx;
+  AffinityOptions opt;
+  opt.lambda = 1.0;
+  opt.k = 2.0;
+  opt.normalize = false;
+  const AffinityMatrix m = compute_affinity(fx.gdf, opt);
+  // block flow: 16 bits at latency 2 -> 16/4 = 4.
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 4.0);
+}
+
+TEST(Affinity, PureMacroFlowAtLambdaZero) {
+  BlendFixture fx;
+  AffinityOptions opt;
+  opt.lambda = 0.0;
+  opt.k = 2.0;
+  opt.normalize = false;
+  const AffinityMatrix m = compute_affinity(fx.gdf, opt);
+  // macro flow: 32 bits at latency 4 -> 32/16 = 2.
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+}
+
+TEST(Affinity, LambdaBlendsLinearly) {
+  BlendFixture fx;
+  AffinityOptions opt;
+  opt.lambda = 0.25;
+  opt.k = 2.0;
+  opt.normalize = false;
+  const AffinityMatrix m = compute_affinity(fx.gdf, opt);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.25 * 4.0 + 0.75 * 2.0);
+}
+
+TEST(Affinity, LatencyDecayKReducesScore) {
+  BlendFixture fx;
+  AffinityOptions flat, steep;
+  flat.lambda = steep.lambda = 1.0;
+  flat.normalize = steep.normalize = false;
+  flat.k = 0.0;
+  steep.k = 3.0;
+  EXPECT_GT(compute_affinity(fx.gdf, flat).at(0, 1),
+            compute_affinity(fx.gdf, steep).at(0, 1));
+}
+
+TEST(Affinity, MatrixIsSymmetric) {
+  BlendFixture fx;
+  const AffinityMatrix m = compute_affinity(fx.gdf);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (std::size_t j = 0; j < m.size(); ++j) {
+      EXPECT_DOUBLE_EQ(m.at(i, j), m.at(j, i));
+    }
+  }
+}
+
+TEST(Affinity, NormalizationCapsAtOne) {
+  BlendFixture fx;
+  AffinityOptions opt;
+  opt.normalize = true;
+  const AffinityMatrix m = compute_affinity(fx.gdf, opt);
+  EXPECT_DOUBLE_EQ(m.max_value(), 1.0);
+}
+
+TEST(AffinityMatrix, AccumulateAddsBothDirections) {
+  AffinityMatrix m(3);
+  m.accumulate(0, 2, 1.5);
+  m.accumulate(2, 0, 0.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 2.0);
+}
+
+TEST(AffinityMatrix, NormalizeZeroMatrixIsNoop) {
+  AffinityMatrix m(2);
+  m.normalize_max();
+  EXPECT_DOUBLE_EQ(m.max_value(), 0.0);
+}
+
+}  // namespace
+}  // namespace hidap

@@ -1,0 +1,102 @@
+// Simulated-annealing engine tests: convergence on simple landscapes,
+// determinism, hook contracts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "floorplan/annealer.hpp"
+
+namespace hidap {
+namespace {
+
+// 1-D quadratic bowl explored by +-1 steps on an integer line.
+struct Bowl {
+  int x = 40;
+  int backup = 40;
+  Rng rng{7};
+  double cost() const { return static_cast<double>(x) * x; }
+};
+
+TEST(Annealer, MinimizesQuadraticBowl) {
+  Bowl bowl;
+  AnnealOptions opt;
+  opt.seed = 3;
+  AnnealHooks hooks;
+  hooks.propose = [&]() {
+    bowl.backup = bowl.x;
+    bowl.x += bowl.rng.next_bool() ? 1 : -1;
+    return bowl.cost();
+  };
+  hooks.reject = [&]() { bowl.x = bowl.backup; };
+  const AnnealStats stats = anneal(bowl.cost(), opt, hooks);
+  EXPECT_LT(stats.best_cost, 25.0);  // well below the initial 1600
+  EXPECT_GT(stats.moves_attempted, 0);
+  EXPECT_GE(stats.moves_attempted, stats.moves_accepted);
+}
+
+TEST(Annealer, DeterministicGivenSeed) {
+  const auto run = [](std::uint64_t seed) {
+    Bowl bowl;
+    AnnealOptions opt;
+    opt.seed = seed;
+    AnnealHooks hooks;
+    hooks.propose = [&]() {
+      bowl.backup = bowl.x;
+      bowl.x += bowl.rng.next_bool() ? 1 : -1;
+      return bowl.cost();
+    };
+    hooks.reject = [&]() { bowl.x = bowl.backup; };
+    return anneal(bowl.cost(), opt, hooks).best_cost;
+  };
+  EXPECT_DOUBLE_EQ(run(11), run(11));
+}
+
+TEST(Annealer, OnNewBestMonotone) {
+  Bowl bowl;
+  AnnealOptions opt;
+  double last_best = 1e18;
+  bool monotone = true;
+  AnnealHooks hooks;
+  hooks.propose = [&]() {
+    bowl.backup = bowl.x;
+    bowl.x += bowl.rng.next_bool() ? 1 : -1;
+    return bowl.cost();
+  };
+  hooks.reject = [&]() { bowl.x = bowl.backup; };
+  hooks.on_new_best = [&](double c) {
+    if (c >= last_best) monotone = false;
+    last_best = c;
+  };
+  anneal(bowl.cost(), opt, hooks);
+  EXPECT_TRUE(monotone);
+}
+
+TEST(Annealer, StagnationTerminates) {
+  // Flat landscape: cost never changes; the run must stop via the
+  // stagnation counter rather than looping to the temperature floor.
+  AnnealOptions opt;
+  opt.max_stagnant_temperatures = 3;
+  opt.moves_per_temperature = 10;
+  AnnealHooks hooks;
+  hooks.propose = []() { return 1.0; };
+  hooks.reject = []() {};
+  const AnnealStats stats = anneal(1.0, opt, hooks);
+  EXPECT_LE(stats.temperature_steps, 4);
+}
+
+TEST(Annealer, AcceptsDownhillAlways) {
+  // Strictly improving proposals must all be accepted.
+  double value = 100.0;
+  AnnealOptions opt;
+  opt.moves_per_temperature = 50;
+  opt.max_stagnant_temperatures = 1;
+  AnnealHooks hooks;
+  hooks.propose = [&]() { return value -= 0.5; };
+  hooks.reject = [&]() { FAIL() << "downhill move rejected"; };
+  const AnnealStats stats = anneal(100.0, opt, hooks);
+  EXPECT_EQ(stats.moves_accepted, stats.moves_attempted);
+}
+
+}  // namespace
+}  // namespace hidap

@@ -1,0 +1,82 @@
+// Bottom-up shape-curve packing tests (shape-curve generation, IV-A).
+
+#include <gtest/gtest.h>
+
+#include "floorplan/area_floorplanner.hpp"
+#include "floorplan/polish_expression.hpp"
+
+namespace hidap {
+namespace {
+
+TEST(ComposeCurve, MatchesManualComposition) {
+  const std::vector<ShapeCurve> leaves = {ShapeCurve::for_rect(2, 1, false),
+                                          ShapeCurve::for_rect(2, 1, false)};
+  // "0 1 V": side by side -> 4 x 1.
+  const ShapeCurve v = compose_curve(leaves, PolishExpression({0, 1, kOpV}));
+  ASSERT_EQ(v.points().size(), 1u);
+  EXPECT_EQ(v.points()[0], (Shape{4, 1}));
+  // "0 1 H": stacked -> 2 x 2.
+  const ShapeCurve h = compose_curve(leaves, PolishExpression({0, 1, kOpH}));
+  ASSERT_EQ(h.points().size(), 1u);
+  EXPECT_EQ(h.points()[0], (Shape{2, 2}));
+}
+
+TEST(PackShapeCurve, SingleLeafPassthrough) {
+  const std::vector<ShapeCurve> leaves = {ShapeCurve::for_rect(3, 2)};
+  const ShapeCurve c = pack_shape_curve(leaves);
+  EXPECT_EQ(c, leaves[0]);
+}
+
+TEST(PackShapeCurve, TwoSquaresPackTightly) {
+  const std::vector<ShapeCurve> leaves = {ShapeCurve::for_rect(2, 2),
+                                          ShapeCurve::for_rect(2, 2)};
+  AreaFloorplanOptions opt;
+  opt.anneal.seed = 5;
+  const ShapeCurve c = pack_shape_curve(leaves, opt);
+  ASSERT_FALSE(c.empty());
+  // Optimal packing is 4x2 = 8 (zero dead space).
+  EXPECT_NEAR(c.min_area_shape()->area(), 8.0, 1e-9);
+}
+
+TEST(PackShapeCurve, FourMacrosNearOptimal) {
+  // Four 4x2 macros: perfect packings of area 32 exist (e.g. 8x4).
+  std::vector<ShapeCurve> leaves(4, ShapeCurve::for_rect(4, 2));
+  AreaFloorplanOptions opt;
+  opt.anneal.seed = 11;
+  const ShapeCurve c = pack_shape_curve(leaves, opt);
+  ASSERT_FALSE(c.empty());
+  const double best = c.min_area_shape()->area();
+  EXPECT_GE(best, 32.0 - 1e-9);
+  EXPECT_LE(best, 32.0 * 1.15);  // within 15% of optimum
+}
+
+TEST(PackShapeCurve, MixedSizesRespectLowerBound) {
+  std::vector<ShapeCurve> leaves = {
+      ShapeCurve::for_rect(5, 3), ShapeCurve::for_rect(2, 2),
+      ShapeCurve::for_rect(4, 1), ShapeCurve::for_rect(3, 3)};
+  double area_sum = 0.0;
+  for (const auto& l : leaves) area_sum += l.min_area_shape()->area();
+  AreaFloorplanOptions opt;
+  opt.anneal.seed = 13;
+  const ShapeCurve c = pack_shape_curve(leaves, opt);
+  ASSERT_FALSE(c.empty());
+  EXPECT_GE(c.min_area_shape()->area() + 1e-9, area_sum);
+  EXPECT_LE(c.min_area_shape()->area(), area_sum * 1.6);
+}
+
+TEST(PackShapeCurve, CurveOffersMultipleAspects) {
+  std::vector<ShapeCurve> leaves(6, ShapeCurve::for_rect(3, 1));
+  AreaFloorplanOptions opt;
+  opt.anneal.seed = 17;
+  opt.best_solutions_merged = 6;
+  const ShapeCurve c = pack_shape_curve(leaves, opt);
+  // A useful shape curve gives layout generation real choices.
+  EXPECT_GE(c.points().size(), 2u);
+}
+
+TEST(PackShapeCurve, EmptyInput) {
+  EXPECT_TRUE(pack_shape_curve({}).empty());
+}
+
+}  // namespace
+}  // namespace hidap

@@ -1,0 +1,179 @@
+// Gdf construction tests (paper sect. IV-D, Fig. 7): block-flow BFS
+// through glue only, macro-flow BFS through registers, latency histograms.
+
+#include <gtest/gtest.h>
+
+#include "dataflow/dataflow_graph.hpp"
+
+namespace hidap {
+namespace {
+
+// Hand-built Gseq modeled on Fig. 7:
+//   block A: macro MA -> reg ra(32)
+//   glue:    reg g(16)
+//   block B: reg rb(32) -> macro MB
+// with the chain MA -> ra -> g -> rb -> MB.
+struct Fig7Fixture {
+  SeqGraph seq;
+  SeqNodeId ma, ra, g, rb, mb;
+  DataflowGraph gdf{seq};
+  DfNodeId block_a, block_b;
+
+  Fig7Fixture() {
+    const auto mk = [&](SeqKind kind, int width, const char* name) {
+      SeqNode n;
+      n.kind = kind;
+      n.width = width;
+      n.base_name = name;
+      if (kind == SeqKind::Macro) n.macro_cell = 0;  // dummy, unused here
+      return seq.add_node(n);
+    };
+    ma = mk(SeqKind::Macro, 64, "MA");
+    ra = mk(SeqKind::Register, 32, "ra");
+    g = mk(SeqKind::Register, 16, "g");
+    rb = mk(SeqKind::Register, 32, "rb");
+    mb = mk(SeqKind::Macro, 64, "MB");
+    seq.add_edge(ma, ra, 32, 1);
+    seq.add_edge(ra, g, 16, 2);
+    seq.add_edge(g, rb, 16, 1);
+    seq.add_edge(rb, mb, 32, 0);
+    seq.build_adjacency();
+
+    gdf = DataflowGraph(seq);
+    DfNode a;
+    a.name = "A";
+    a.members = {ma, ra};
+    block_a = gdf.add_node(a);
+    DfNode b;
+    b.name = "B";
+    b.members = {rb, mb};
+    block_b = gdf.add_node(b);
+    gdf.infer_edges();
+  }
+};
+
+TEST(DataflowGraph, BlockFlowThroughGlue) {
+  Fig7Fixture fx;
+  const DfEdge* e = fx.gdf.find_edge(fx.block_a, fx.block_b);
+  ASSERT_NE(e, nullptr);
+  // Path ra -> g -> rb: latency 2, predecessor g has width 16.
+  EXPECT_DOUBLE_EQ(e->block_flow.bits_at(2), 16.0);
+  EXPECT_DOUBLE_EQ(e->block_flow.total_bits(), 16.0);
+}
+
+TEST(DataflowGraph, MacroFlowCrossesRegisters) {
+  Fig7Fixture fx;
+  const DfEdge* e = fx.gdf.find_edge(fx.block_a, fx.block_b);
+  ASSERT_NE(e, nullptr);
+  // Path MA -> ra -> g -> rb -> MB: latency 4, predecessor rb width 32.
+  EXPECT_DOUBLE_EQ(e->macro_flow.bits_at(4), 32.0);
+  EXPECT_DOUBLE_EQ(e->macro_flow.total_bits(), 32.0);
+}
+
+TEST(DataflowGraph, NoReverseEdge) {
+  Fig7Fixture fx;
+  EXPECT_EQ(fx.gdf.find_edge(fx.block_b, fx.block_a), nullptr);
+}
+
+TEST(DataflowGraph, GlueMembershipIsInvalid) {
+  Fig7Fixture fx;
+  EXPECT_EQ(fx.gdf.df_of_seq(fx.g), kInvalidId);
+  EXPECT_EQ(fx.gdf.df_of_seq(fx.ma), fx.block_a);
+}
+
+TEST(DataflowGraph, BlockFlowStopsAtForeignBlock) {
+  // A -> B -> C chain: the path from A must terminate at B and never
+  // contribute to an A->C block edge.
+  SeqGraph seq;
+  const auto mk = [&](int width) {
+    SeqNode n;
+    n.kind = SeqKind::Register;
+    n.width = width;
+    return seq.add_node(n);
+  };
+  const SeqNodeId a = mk(8), b = mk(8), c = mk(8);
+  seq.add_edge(a, b, 8, 0);
+  seq.add_edge(b, c, 8, 0);
+  seq.build_adjacency();
+  DataflowGraph gdf(seq);
+  const DfNodeId na = gdf.add_node({DfKind::Block, "A", {a}, false, {}});
+  const DfNodeId nb = gdf.add_node({DfKind::Block, "B", {b}, false, {}});
+  const DfNodeId nc = gdf.add_node({DfKind::Block, "C", {c}, false, {}});
+  gdf.infer_edges();
+  EXPECT_NE(gdf.find_edge(na, nb), nullptr);
+  EXPECT_NE(gdf.find_edge(nb, nc), nullptr);
+  EXPECT_EQ(gdf.find_edge(na, nc), nullptr);
+}
+
+TEST(DataflowGraph, FanOutReachesMultipleBlocks) {
+  SeqGraph seq;
+  const auto mk = [&](int width) {
+    SeqNode n;
+    n.kind = SeqKind::Register;
+    n.width = width;
+    return seq.add_node(n);
+  };
+  const SeqNodeId hub = mk(64), left = mk(32), right = mk(32), glue = mk(64);
+  seq.add_edge(hub, glue, 64, 1);
+  seq.add_edge(glue, left, 32, 1);
+  seq.add_edge(glue, right, 32, 1);
+  seq.build_adjacency();
+  DataflowGraph gdf(seq);
+  const DfNodeId h = gdf.add_node({DfKind::Block, "H", {hub}, false, {}});
+  const DfNodeId l = gdf.add_node({DfKind::Block, "L", {left}, false, {}});
+  const DfNodeId r = gdf.add_node({DfKind::Block, "R", {right}, false, {}});
+  gdf.infer_edges();
+  const DfEdge* hl = gdf.find_edge(h, l);
+  const DfEdge* hr = gdf.find_edge(h, r);
+  ASSERT_NE(hl, nullptr);
+  ASSERT_NE(hr, nullptr);
+  EXPECT_DOUBLE_EQ(hl->block_flow.bits_at(2), 64.0);  // predecessor = glue(64)
+  EXPECT_DOUBLE_EQ(hr->block_flow.bits_at(2), 64.0);
+}
+
+TEST(DataflowGraph, MaxLatencyHorizonRespected) {
+  SeqGraph seq;
+  const auto mk = [&]() {
+    SeqNode n;
+    n.kind = SeqKind::Register;
+    n.width = 8;
+    return seq.add_node(n);
+  };
+  // Chain of 6 glue hops between two blocks.
+  std::vector<SeqNodeId> chain;
+  for (int i = 0; i < 8; ++i) chain.push_back(mk());
+  for (int i = 0; i + 1 < 8; ++i) seq.add_edge(chain[i], chain[i + 1], 8, 0);
+  seq.build_adjacency();
+  DataflowGraph gdf(seq);
+  const DfNodeId a = gdf.add_node({DfKind::Block, "A", {chain[0]}, false, {}});
+  const DfNodeId b = gdf.add_node({DfKind::Block, "B", {chain[7]}, false, {}});
+  DataflowOptions opt;
+  opt.max_latency = 3;  // 7 hops needed; must not connect
+  gdf.infer_edges(opt);
+  EXPECT_EQ(gdf.find_edge(a, b), nullptr);
+}
+
+TEST(LatencyHistogram, AccumulatesAndScores) {
+  LatencyHistogram h;
+  h.add(1, 32);
+  h.add(2, 16);
+  h.add(2, 16);
+  h.add(4, 64);
+  EXPECT_DOUBLE_EQ(h.total_bits(), 128.0);
+  EXPECT_DOUBLE_EQ(h.bits_at(2), 32.0);
+  EXPECT_DOUBLE_EQ(h.bits_at(3), 0.0);
+  // score(k=0) = total bits; score(k=1) = 32 + 32/2 + 64/4.
+  EXPECT_DOUBLE_EQ(h.score(0), 128.0);
+  EXPECT_DOUBLE_EQ(h.score(1), 64.0);
+  EXPECT_DOUBLE_EQ(h.score(2), 32.0 / 1 + 32.0 / 4 + 64.0 / 16);
+}
+
+TEST(LatencyHistogram, EmptyScoreIsZero) {
+  LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.score(2), 0.0);
+  EXPECT_EQ(h.max_latency(), 0);
+}
+
+}  // namespace
+}  // namespace hidap

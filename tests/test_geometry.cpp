@@ -1,0 +1,119 @@
+// Tests for points, rectangles and orientations.
+
+#include <gtest/gtest.h>
+
+#include "geometry/geometry.hpp"
+#include "geometry/orientation.hpp"
+
+namespace hidap {
+namespace {
+
+TEST(Rect, BasicQueries) {
+  const Rect r{1, 2, 4, 3};
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.xmax(), 5.0);
+  EXPECT_DOUBLE_EQ(r.ymax(), 5.0);
+  EXPECT_EQ(r.center(), (Point{3.0, 3.5}));
+  EXPECT_TRUE(r.contains(Point{1.0, 2.0}));
+  EXPECT_TRUE(r.contains(Point{5.0, 5.0}));
+  EXPECT_FALSE(r.contains(Point{5.01, 5.0}));
+}
+
+TEST(Rect, ContainsRectWithTolerance) {
+  const Rect outer{0, 0, 10, 10};
+  EXPECT_TRUE(outer.contains(Rect{0, 0, 10, 10}));
+  EXPECT_TRUE(outer.contains(Rect{2, 2, 3, 3}));
+  EXPECT_FALSE(outer.contains(Rect{8, 8, 3, 3}));
+  EXPECT_TRUE(outer.contains(Rect{-1e-12, 0, 10, 10}));
+}
+
+TEST(Rect, OverlapArea) {
+  const Rect a{0, 0, 4, 4};
+  EXPECT_DOUBLE_EQ(a.overlap_area(Rect{2, 2, 4, 4}), 4.0);
+  EXPECT_DOUBLE_EQ(a.overlap_area(Rect{4, 0, 2, 2}), 0.0);  // touching
+  EXPECT_DOUBLE_EQ(a.overlap_area(Rect{1, 1, 2, 2}), 4.0);  // contained
+  EXPECT_DOUBLE_EQ(a.overlap_area(Rect{10, 10, 1, 1}), 0.0);
+}
+
+TEST(Rect, BoundingUnion) {
+  const Rect u = bounding_union(Rect{0, 0, 1, 1}, Rect{3, 4, 2, 1});
+  EXPECT_EQ(u, (Rect{0, 0, 5, 5}));
+}
+
+TEST(Distance, ManhattanAndEuclidean) {
+  EXPECT_DOUBLE_EQ(manhattan({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(euclidean({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(Orientation, DimensionSwap) {
+  EXPECT_FALSE(swaps_dimensions(Orientation::R0));
+  EXPECT_TRUE(swaps_dimensions(Orientation::R90));
+  EXPECT_FALSE(swaps_dimensions(Orientation::MX));
+  EXPECT_TRUE(swaps_dimensions(Orientation::MY90));
+  EXPECT_EQ(oriented_size(4, 2, Orientation::R90), (Point{2, 4}));
+  EXPECT_EQ(oriented_size(4, 2, Orientation::MX), (Point{4, 2}));
+}
+
+TEST(Orientation, Names) {
+  EXPECT_EQ(to_string(Orientation::R0), "R0");
+  EXPECT_EQ(to_string(Orientation::MY90), "MY90");
+}
+
+class OrientationTransform : public ::testing::TestWithParam<Orientation> {};
+
+// Property: a pin inside the macro stays inside the oriented bounding box.
+TEST_P(OrientationTransform, PinStaysInBounds) {
+  const Orientation o = GetParam();
+  const double w = 6.0, h = 2.0;
+  for (const Point pin : {Point{0, 0}, Point{6, 2}, Point{3, 1}, Point{6, 0}, Point{1.5, 0.5}}) {
+    const Point t = transform_pin(pin, w, h, o);
+    const Point size = oriented_size(w, h, o);
+    EXPECT_GE(t.x, -1e-9);
+    EXPECT_GE(t.y, -1e-9);
+    EXPECT_LE(t.x, size.x + 1e-9);
+    EXPECT_LE(t.y, size.y + 1e-9);
+  }
+}
+
+// Property: each orientation is a bijection on the 4 corners.
+TEST_P(OrientationTransform, CornersMapToCorners) {
+  const Orientation o = GetParam();
+  const double w = 5.0, h = 3.0;
+  const Point size = oriented_size(w, h, o);
+  int corner_hits = 0;
+  for (const Point pin : {Point{0, 0}, Point{w, 0}, Point{0, h}, Point{w, h}}) {
+    const Point t = transform_pin(pin, w, h, o);
+    const bool x_corner = std::abs(t.x) < 1e-9 || std::abs(t.x - size.x) < 1e-9;
+    const bool y_corner = std::abs(t.y) < 1e-9 || std::abs(t.y - size.y) < 1e-9;
+    corner_hits += (x_corner && y_corner);
+  }
+  EXPECT_EQ(corner_hits, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrientations, OrientationTransform,
+                         ::testing::ValuesIn(kAllOrientations),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(Orientation, MirrorXIsInvolution) {
+  const double w = 5, h = 3;
+  const Point pin{1.0, 2.5};
+  const Point once = transform_pin(pin, w, h, Orientation::MX);
+  const Point twice = transform_pin(once, w, h, Orientation::MX);
+  EXPECT_NEAR(twice.x, pin.x, 1e-12);
+  EXPECT_NEAR(twice.y, pin.y, 1e-12);
+}
+
+TEST(Orientation, R180EqualsMxThenMy) {
+  const double w = 5, h = 3;
+  const Point pin{1.0, 2.5};
+  const Point a = transform_pin(pin, w, h, Orientation::R180);
+  const Point b = transform_pin(transform_pin(pin, w, h, Orientation::MX), w, h,
+                                Orientation::MY);
+  EXPECT_NEAR(a.x, b.x, 1e-12);
+  EXPECT_NEAR(a.y, b.y, 1e-12);
+}
+
+}  // namespace
+}  // namespace hidap

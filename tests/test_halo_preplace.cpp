@@ -1,0 +1,113 @@
+// Tests for the production knobs added on top of the paper flow: macro
+// halos and engineer-preplaced macros.
+
+#include <gtest/gtest.h>
+
+#include "core/hidap.hpp"
+#include "floorplan/legalizer.hpp"
+#include "gen/suite.hpp"
+#include "util/log.hpp"
+
+namespace hidap {
+namespace {
+
+struct Fixture {
+  Design d;
+  PlacementContext ctx;
+  Fixture() : d(generate_circuit(fig1_spec())), ctx(d) {
+    set_log_level(LogLevel::Warn);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture* fx = new Fixture();
+  return *fx;
+}
+
+HiDaPOptions quick() {
+  HiDaPOptions o;
+  o.layout_anneal.moves_per_temperature = 60;
+  o.shape_fp.anneal.moves_per_temperature = 40;
+  return o;
+}
+
+TEST(MacroHalo, ClearanceRespected) {
+  auto& fx = fixture();
+  HiDaPOptions o = quick();
+  o.macro_halo = 4.0;
+  const PlacementResult r = place_macros(fx.d, fx.ctx, o);
+  EXPECT_EQ(r.macros.size(), fx.d.macro_count());
+  EXPECT_NEAR(total_overlap(r.macros, o.macro_halo), 0.0, 1e-6);
+}
+
+TEST(MacroHalo, ZeroHaloStillLegal) {
+  auto& fx = fixture();
+  const PlacementResult r = place_macros(fx.d, fx.ctx, quick());
+  EXPECT_NEAR(total_overlap(r.macros, 0.0), 0.0, 1e-6);
+}
+
+TEST(MacroHalo, StillInsideDie) {
+  auto& fx = fixture();
+  HiDaPOptions o = quick();
+  o.macro_halo = 6.0;
+  const PlacementResult r = place_macros(fx.d, fx.ctx, o);
+  const PlacementCheck check =
+      check_placement(fx.d, r, Rect{0, 0, fx.d.die().w, fx.d.die().h});
+  EXPECT_TRUE(check.all_inside_die);
+}
+
+TEST(Preplaced, HonoredExactly) {
+  auto& fx = fixture();
+  // Pin the first two macros to chosen corners.
+  const std::vector<CellId> macros = fx.d.macros();
+  HiDaPOptions o = quick();
+  const MacroDef& def0 = fx.d.macro_def_of(macros[0]);
+  const MacroDef& def1 = fx.d.macro_def_of(macros[1]);
+  o.preplaced.push_back(
+      {macros[0], Rect{0, 0, def0.w, def0.h}, Orientation::R0});
+  o.preplaced.push_back({macros[1],
+                         Rect{fx.d.die().w - def1.w, fx.d.die().h - def1.h, def1.w,
+                              def1.h},
+                         Orientation::MX});
+  const PlacementResult r = place_macros(fx.d, fx.ctx, o);
+  EXPECT_EQ(r.macros.size(), fx.d.macro_count());
+  const MacroPlacement* p0 = r.find(macros[0]);
+  const MacroPlacement* p1 = r.find(macros[1]);
+  ASSERT_NE(p0, nullptr);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(p0->rect, o.preplaced[0].rect);
+  EXPECT_EQ(p0->orientation, Orientation::R0);
+  EXPECT_EQ(p1->rect, o.preplaced[1].rect);
+  EXPECT_EQ(p1->orientation, Orientation::MX);
+}
+
+TEST(Preplaced, RemainingMacrosAvoidFixedOnes) {
+  auto& fx = fixture();
+  const std::vector<CellId> macros = fx.d.macros();
+  HiDaPOptions o = quick();
+  const MacroDef& def0 = fx.d.macro_def_of(macros[0]);
+  const Rect center{fx.d.die().w / 2 - def0.w / 2, fx.d.die().h / 2 - def0.h / 2,
+                    def0.w, def0.h};
+  o.preplaced.push_back({macros[0], center, Orientation::R0});
+  const PlacementResult r = place_macros(fx.d, fx.ctx, o);
+  EXPECT_NEAR(total_overlap(r.macros, 0.0), 0.0, 1e-6);
+}
+
+TEST(Preplaced, AllMacrosPreplacedIsIdentity) {
+  auto& fx = fixture();
+  // First run free, then feed the result back as fully preplaced.
+  const PlacementResult free_run = place_macros(fx.d, fx.ctx, quick());
+  HiDaPOptions o = quick();
+  o.preplaced = free_run.macros;
+  const PlacementResult pinned = place_macros(fx.d, fx.ctx, o);
+  ASSERT_EQ(pinned.macros.size(), free_run.macros.size());
+  for (const MacroPlacement& m : free_run.macros) {
+    const MacroPlacement* p = pinned.find(m.cell);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->rect, m.rect);
+    EXPECT_EQ(p->orientation, m.orientation);
+  }
+}
+
+}  // namespace
+}  // namespace hidap

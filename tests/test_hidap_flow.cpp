@@ -1,0 +1,146 @@
+// End-to-end HiDaP flow tests on generated circuits: legality, recursion
+// snapshots, determinism, lambda sensitivity.
+
+#include <gtest/gtest.h>
+
+#include "core/hidap.hpp"
+#include "gen/suite.hpp"
+#include "util/log.hpp"
+
+namespace hidap {
+namespace {
+
+HiDaPOptions quick_options(std::uint64_t seed = 1) {
+  HiDaPOptions o;
+  o.seed = seed;
+  o.layout_anneal.moves_per_temperature = 80;
+  o.layout_anneal.cooling = 0.8;
+  o.layout_anneal.max_stagnant_temperatures = 4;
+  o.shape_fp.anneal.moves_per_temperature = 60;
+  o.shape_fp.anneal.cooling = 0.8;
+  o.shape_fp.anneal.max_stagnant_temperatures = 4;
+  return o;
+}
+
+class HidapFlowTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    set_log_level(LogLevel::Warn);
+    design_ = new Design(generate_circuit(fig1_spec()));
+    context_ = new PlacementContext(*design_);
+  }
+  static void TearDownTestSuite() {
+    delete context_;
+    delete design_;
+    context_ = nullptr;
+    design_ = nullptr;
+  }
+  static Design* design_;
+  static PlacementContext* context_;
+};
+
+Design* HidapFlowTest::design_ = nullptr;
+PlacementContext* HidapFlowTest::context_ = nullptr;
+
+TEST_F(HidapFlowTest, PlacesEveryMacroInsideDie) {
+  const PlacementResult result = place_macros(*design_, *context_, quick_options());
+  const Rect die{0, 0, design_->die().w, design_->die().h};
+  const PlacementCheck check = check_placement(*design_, result, die);
+  EXPECT_TRUE(check.all_macros_placed);
+  EXPECT_TRUE(check.all_inside_die);
+}
+
+TEST_F(HidapFlowTest, MacroOverlapIsNegligible) {
+  const PlacementResult result = place_macros(*design_, *context_, quick_options());
+  const Rect die{0, 0, design_->die().w, design_->die().h};
+  const PlacementCheck check = check_placement(*design_, result, die);
+  double macro_area = 0.0;
+  for (const MacroPlacement& m : result.macros) macro_area += m.rect.area();
+  EXPECT_LT(check.overlap_area, 0.02 * macro_area);
+}
+
+TEST_F(HidapFlowTest, SnapshotsFormRecursionTrace) {
+  const PlacementResult result = place_macros(*design_, *context_, quick_options());
+  ASSERT_FALSE(result.snapshots.empty());
+  EXPECT_EQ(result.snapshots.front().depth, 0);
+  // Every snapshot's block rects lie inside its region.
+  for (const LevelSnapshot& s : result.snapshots) {
+    ASSERT_EQ(s.blocks.size(), s.block_rects.size());
+    for (const Rect& r : s.block_rects) EXPECT_TRUE(s.region.contains(r, 1e-6));
+  }
+  // Depth-0 snapshot covers the die.
+  EXPECT_NEAR(result.snapshots.front().region.area(),
+              design_->die().w * design_->die().h, 1e-6);
+}
+
+TEST_F(HidapFlowTest, DeterministicForFixedSeed) {
+  const PlacementResult a = place_macros(*design_, *context_, quick_options(9));
+  const PlacementResult b = place_macros(*design_, *context_, quick_options(9));
+  ASSERT_EQ(a.macros.size(), b.macros.size());
+  for (std::size_t i = 0; i < a.macros.size(); ++i) {
+    EXPECT_EQ(a.macros[i].cell, b.macros[i].cell);
+    EXPECT_EQ(a.macros[i].rect, b.macros[i].rect);
+    EXPECT_EQ(a.macros[i].orientation, b.macros[i].orientation);
+  }
+}
+
+TEST_F(HidapFlowTest, SeedChangesLayout) {
+  const PlacementResult a = place_macros(*design_, *context_, quick_options(1));
+  const PlacementResult b = place_macros(*design_, *context_, quick_options(2));
+  bool any_differs = false;
+  for (std::size_t i = 0; i < a.macros.size(); ++i) {
+    if (!(a.macros[i].rect == b.macros[i].rect)) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST_F(HidapFlowTest, RuntimeIsRecorded) {
+  const PlacementResult result = place_macros(*design_, *context_, quick_options());
+  EXPECT_GT(result.runtime_seconds, 0.0);
+  EXPECT_EQ(result.flow_name, "HiDaP");
+}
+
+TEST(HidapFlowErrors, NoMacrosRejected) {
+  Design d("empty");
+  d.add_cell(d.root(), "c", CellKind::Comb, 1.0);
+  d.set_die(Die{10, 10});
+  EXPECT_THROW(place_macros(d), std::invalid_argument);
+}
+
+TEST(HidapFlowErrors, EmptyDieRejected) {
+  Design d("nodie");
+  const MacroDefId m = d.library().add(MacroLibrary::make_sram("M", 4, 4, 8));
+  d.add_cell(d.root(), "mem", CellKind::Macro, 0.0, m);
+  EXPECT_THROW(place_macros(d), std::invalid_argument);
+}
+
+TEST(HidapFlowSmall, TwoMacroDesignWorks) {
+  Design d("mini");
+  const MacroDefId m = d.library().add(MacroLibrary::make_sram("M", 10, 8, 16));
+  const HierId u = d.add_hier(d.root(), "u");
+  const CellId m0 = d.add_cell(u, "m0", CellKind::Macro, 0.0, m);
+  const CellId m1 = d.add_cell(u, "m1", CellKind::Macro, 0.0, m);
+  // A register array between the macros so Gseq is non-trivial.
+  std::vector<CellId> regs;
+  for (int i = 0; i < 8; ++i) {
+    regs.push_back(d.add_cell(u, "r[" + std::to_string(i) + "]", CellKind::Flop, 1.0));
+  }
+  for (const CellId r : regs) {
+    const NetId n0 = d.add_net("a");
+    d.set_driver(n0, m0, 10.0f, 4.0f);
+    d.add_sink(n0, r);
+    const NetId n1 = d.add_net("b");
+    d.set_driver(n1, r);
+    d.add_sink(n1, m1, 0.0f, 4.0f);
+  }
+  d.set_die(Die{60, 60});
+  const PlacementResult result = place_macros(d, HiDaPOptions{});
+  EXPECT_EQ(result.macros.size(), 2u);
+  const PlacementCheck check = check_placement(d, result, Rect{0, 0, 60, 60});
+  EXPECT_TRUE(check.all_macros_placed);
+  EXPECT_TRUE(check.all_inside_die);
+  EXPECT_LT(check.overlap_area, 1.0);
+}
+
+}  // namespace
+}  // namespace hidap

@@ -1,0 +1,127 @@
+// Cross-module integration tests: the full pipeline on a real suite
+// circuit (scaled small), file-based interchange between the stages, and
+// end-to-end invariants that only hold when every subsystem cooperates.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/hidap.hpp"
+#include "eval/flows.hpp"
+#include "gen/suite.hpp"
+#include "netlist/def_io.hpp"
+#include "netlist/verilog_parser.hpp"
+#include "netlist/verilog_writer.hpp"
+#include "util/log.hpp"
+
+namespace hidap {
+namespace {
+
+TEST(Integration, SuiteCircuitThroughAllThreeFlows) {
+  set_log_level(LogLevel::Warn);
+  const SuiteEntry entry = suite_circuit("c1", 0.01);  // 5.2k cells, 32 macros
+  const Design design = generate_circuit(entry.spec);
+  ASSERT_TRUE(design.validate().empty());
+  ASSERT_EQ(design.macro_count(), 32u);
+
+  FlowOptions options;
+  options.hidap.layout_anneal.moves_per_temperature = 60;
+  options.hidap.shape_fp.anneal.moves_per_temperature = 40;
+  options.handfp_seeds = 1;
+  options.handfp_effort = 1.0;
+
+  const FlowComparison cmp = compare_flows(design, options);
+  // Every flow produced full legal-ish placements with positive metrics.
+  for (const Metrics* m : {&cmp.indeda, &cmp.hidap, &cmp.handfp}) {
+    EXPECT_GT(m->wl_m, 0.0) << m->flow;
+    EXPECT_GE(m->grc_percent, 0.0) << m->flow;
+    EXPECT_LE(m->wns_percent, 100.0) << m->flow;
+  }
+  // Normalization is anchored at handFP.
+  EXPECT_DOUBLE_EQ(cmp.handfp.wl_norm, 1.0);
+}
+
+TEST(Integration, FileBasedPipeline) {
+  set_log_level(LogLevel::Warn);
+  // generate -> write verilog -> parse -> place -> write DEF -> parse DEF
+  // -> re-evaluate: metrics of the original and reloaded placement match.
+  CircuitSpec spec = fig1_spec();
+  spec.target_cells = 3000;
+  const Design original = generate_circuit(spec);
+  const std::string vpath = "integration_netlist.v";
+  write_verilog_file(original, vpath);
+  const Design parsed = parse_verilog_file(vpath);
+
+  HiDaPOptions opts;
+  opts.layout_anneal.moves_per_temperature = 60;
+  opts.shape_fp.anneal.moves_per_temperature = 40;
+  const PlacementResult placed = place_macros(parsed, opts);
+
+  const std::string dpath = "integration_placed.def";
+  write_def_file(parsed, placed, dpath);
+  PlacementResult reloaded;
+  apply_def_placement(parsed, parse_def_file(dpath), reloaded);
+  ASSERT_EQ(reloaded.macros.size(), placed.macros.size());
+
+  const PlacementContext context(parsed);
+  const Metrics m1 = evaluate_placement(parsed, context.ht, context.seq, placed);
+  const Metrics m2 = evaluate_placement(parsed, context.ht, context.seq, reloaded);
+  EXPECT_NEAR(m1.wl_m, m2.wl_m, m1.wl_m * 0.001);  // db-unit rounding only
+  EXPECT_NEAR(m1.wns_percent, m2.wns_percent, 0.5);
+
+  std::remove(vpath.c_str());
+  std::remove(dpath.c_str());
+}
+
+TEST(Integration, HigherEffortDoesNotHurtMuch) {
+  set_log_level(LogLevel::Warn);
+  CircuitSpec spec = fig1_spec();
+  const Design design = generate_circuit(spec);
+  const PlacementContext context(design);
+
+  HiDaPOptions low;
+  low.layout_anneal.moves_per_temperature = 30;
+  low.layout_anneal.max_stagnant_temperatures = 2;
+  low.shape_fp.anneal.moves_per_temperature = 30;
+  HiDaPOptions high = low;
+  high.scale_effort(4.0);
+
+  const Metrics m_low = evaluate_placement(
+      design, context.ht, context.seq, place_macros(design, context, low));
+  const Metrics m_high = evaluate_placement(
+      design, context.ht, context.seq, place_macros(design, context, high));
+  // SA is stochastic; demand only that quadrupled effort is not
+  // catastrophically worse.
+  EXPECT_LT(m_high.wl_m, m_low.wl_m * 1.25);
+}
+
+TEST(Integration, SnapshotsNestByDepth) {
+  set_log_level(LogLevel::Warn);
+  const Design design = generate_circuit(fig1_spec());
+  HiDaPOptions opts;
+  opts.layout_anneal.moves_per_temperature = 50;
+  opts.shape_fp.anneal.moves_per_temperature = 40;
+  const PlacementResult result = place_macros(design, opts);
+  // Every depth-d+1 snapshot region equals some depth-d block rect: the
+  // recursion hands exact rectangles down (Algorithm 2 line 9-10).
+  for (const LevelSnapshot& snap : result.snapshots) {
+    if (snap.depth == 0) continue;
+    bool found = false;
+    for (const LevelSnapshot& parent : result.snapshots) {
+      if (parent.depth != snap.depth - 1) continue;
+      for (const Rect& r : parent.block_rects) {
+        if (std::abs(r.x - snap.region.x) < 1e-6 &&
+            std::abs(r.y - snap.region.y) < 1e-6 &&
+            std::abs(r.w - snap.region.w) < 1e-6 &&
+            std::abs(r.h - snap.region.h) < 1e-6) {
+          found = true;
+        }
+      }
+    }
+    EXPECT_TRUE(found) << "snapshot at depth " << snap.depth
+                       << " has no parent rect";
+  }
+}
+
+}  // namespace
+}  // namespace hidap

@@ -1,0 +1,103 @@
+// Macro-flipping tests: orientation choice reduces pin-level HPWL and
+// never increases it; footprints are preserved.
+
+#include <gtest/gtest.h>
+
+#include "core/macro_flipping.hpp"
+
+namespace hidap {
+namespace {
+
+// One macro with its output pin on the right edge; the consumer sits on
+// the LEFT of the macro, so mirroring about Y must pay off.
+struct FlipFixture {
+  static Design make_design() {
+    Design d("top");
+    MacroDef def;
+    def.name = "M";
+    def.w = 10;
+    def.h = 6;
+    def.pins.push_back({"Q", {10.0, 3.0}, 32, true});  // right edge
+    const MacroDefId id = d.library().add(def);
+    const CellId macro = d.add_cell(d.root(), "mem", CellKind::Macro, 0.0, id);
+    const CellId port = d.add_cell(d.root(), "sink", CellKind::PortOut, 0.0);
+    d.cell_mutable(port).fixed_pos = Point{0.0, 23.0};  // west of the macro
+    const NetId n = d.add_net("q");
+    d.set_driver(n, macro, 10.0f, 3.0f);
+    d.add_sink(n, port);
+    d.set_die(Die{100, 100});
+    return d;
+  }
+
+  Design d = make_design();
+  CellId macro = 0;  // creation order in make_design
+  CellId port = 1;
+  HierTree ht{d};
+  std::vector<Rect> region;
+  std::vector<bool> region_valid;
+  std::vector<MacroPlacement> placement;
+
+  FlipFixture() {
+    region.assign(ht.size(), Rect{});
+    region_valid.assign(ht.size(), false);
+    region[static_cast<std::size_t>(ht.root())] = Rect{0, 0, 100, 100};
+    region_valid[static_cast<std::size_t>(ht.root())] = true;
+    placement.push_back({macro, Rect{40, 20, 10, 6}, Orientation::R0});
+  }
+};
+
+TEST(MacroFlipping, MirrorsTowardConsumer) {
+  FlipFixture fx;
+  const FlippingStats stats =
+      flip_macros(fx.d, fx.ht, fx.region, fx.region_valid, fx.placement);
+  EXPECT_GE(stats.flips, 1);
+  // MY mirrors about the Y axis: pin moves from the right to the left edge.
+  EXPECT_EQ(fx.placement[0].orientation, Orientation::MY);
+  EXPECT_LT(stats.hpwl_after, stats.hpwl_before);
+}
+
+TEST(MacroFlipping, FootprintUnchanged) {
+  FlipFixture fx;
+  const Rect before = fx.placement[0].rect;
+  flip_macros(fx.d, fx.ht, fx.region, fx.region_valid, fx.placement);
+  EXPECT_EQ(fx.placement[0].rect, before);
+}
+
+TEST(MacroFlipping, NeverWorsensHpwl) {
+  FlipFixture fx;
+  const FlippingStats stats =
+      flip_macros(fx.d, fx.ht, fx.region, fx.region_valid, fx.placement);
+  EXPECT_LE(stats.hpwl_after, stats.hpwl_before + 1e-9);
+}
+
+TEST(MacroFlipping, AlreadyOptimalStaysPut) {
+  FlipFixture fx;
+  // Move the consumer to the right side: R0 is already optimal.
+  fx.d.cell_mutable(fx.port).fixed_pos = Point{100.0, 23.0};
+  const FlippingStats stats =
+      flip_macros(fx.d, fx.ht, fx.region, fx.region_valid, fx.placement);
+  EXPECT_EQ(fx.placement[0].orientation, Orientation::R0);
+  EXPECT_EQ(stats.flips, 0);
+}
+
+TEST(MacroFlipping, ConvergesWithinPassBudget) {
+  FlipFixture fx;
+  const FlippingStats stats =
+      flip_macros(fx.d, fx.ht, fx.region, fx.region_valid, fx.placement, 8);
+  // One macro: must converge after at most 2 passes (1 flip + 1 verify).
+  EXPECT_LE(stats.passes, 2);
+}
+
+TEST(MacroFlipping, RotatedGroupUsesRotatedCandidates) {
+  FlipFixture fx;
+  fx.placement[0].orientation = Orientation::R90;
+  fx.placement[0].rect = Rect{40, 20, 6, 10};  // swapped footprint
+  flip_macros(fx.d, fx.ht, fx.region, fx.region_valid, fx.placement);
+  // Must stay within the rotated group.
+  const Orientation o = fx.placement[0].orientation;
+  EXPECT_TRUE(o == Orientation::R90 || o == Orientation::R270 ||
+              o == Orientation::MX90 || o == Orientation::MY90);
+}
+
+}  // namespace
+}  // namespace hidap

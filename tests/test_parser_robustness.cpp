@@ -1,0 +1,103 @@
+// Parser robustness: mutated and truncated netlists must either parse or
+// throw VerilogParseError -- never crash, hang, or corrupt memory.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/circuit_gen.hpp"
+#include "netlist/verilog_parser.hpp"
+#include "netlist/verilog_writer.hpp"
+#include "util/rng.hpp"
+
+namespace hidap {
+namespace {
+
+std::string sample_netlist() {
+  CircuitSpec spec;
+  spec.name = "fuzz";
+  spec.target_cells = 300;
+  spec.macro_count = 2;
+  spec.subsystems = 1;
+  spec.bus_width = 8;
+  const Design d = generate_circuit(spec);
+  std::ostringstream out;
+  write_verilog(d, out);
+  return out.str();
+}
+
+void expect_parse_or_clean_error(const std::string& text) {
+  try {
+    const Design d = parse_verilog_string(text);
+    EXPECT_TRUE(d.validate().empty());
+  } catch (const VerilogParseError&) {
+    // acceptable: clean rejection
+  } catch (const std::exception&) {
+    // stoi/stod range errors from garbled numbers are tolerable too, as
+    // long as they are exceptions and not crashes
+  }
+}
+
+TEST(ParserRobustness, TruncationsNeverCrash) {
+  const std::string text = sample_netlist();
+  for (const double frac : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    expect_parse_or_clean_error(
+        text.substr(0, static_cast<std::size_t>(text.size() * frac)));
+  }
+}
+
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzz, RandomByteMutations) {
+  std::string text = sample_netlist();
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL + 17);
+  // Mutate 12 random positions: replace with random printable bytes.
+  for (int m = 0; m < 12; ++m) {
+    const std::size_t at = rng.next_below(text.size());
+    text[at] = static_cast<char>(' ' + rng.next_below(94));
+  }
+  expect_parse_or_clean_error(text);
+}
+
+TEST_P(ParserFuzz, RandomLineDeletions) {
+  std::string text = sample_netlist();
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 40503ULL + 3);
+  std::istringstream in(text);
+  std::ostringstream kept;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (rng.next_double() > 0.08) kept << line << '\n';
+  }
+  expect_parse_or_clean_error(kept.str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(1, 17));
+
+TEST(ParserRobustness, DeepNestingBounded) {
+  // A module chain 64 deep elaborates fine (recursion is depth-bounded by
+  // the hierarchy, not the token stream).
+  std::string text;
+  for (int i = 63; i >= 1; --i) {
+    text += "module m" + std::to_string(i) + " ();\n";
+    if (i < 63) text += "  m" + std::to_string(i + 1) + " u ();\n";
+    text += "endmodule\n";
+  }
+  const Design d = parse_verilog_string(text);
+  EXPECT_EQ(d.hier_count(), 63u);
+}
+
+TEST(ParserRobustness, HugeTokenHandled) {
+  std::string name(5000, 'x');
+  const Design d =
+      parse_verilog_string("module top ();\n  HIDAP_COMB " + name + " ();\nendmodule\n");
+  EXPECT_EQ(d.cell(0).name.size(), 5000u);
+}
+
+TEST(ParserRobustness, GarbageRejected) {
+  expect_parse_or_clean_error("%%%###!!!");
+  expect_parse_or_clean_error("module module module");
+  expect_parse_or_clean_error("module a (); HIDAP_COMB g (.I0(");
+}
+
+}  // namespace
+}  // namespace hidap

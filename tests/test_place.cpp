@@ -1,0 +1,171 @@
+// Cell-placement proxy tests: clustering, quadratic solve, spreading,
+// HPWL, density maps.
+
+#include <gtest/gtest.h>
+
+#include "core/hidap.hpp"
+#include "gen/suite.hpp"
+#include "place/density.hpp"
+#include "place/hpwl.hpp"
+#include "place/quadratic_placer.hpp"
+#include "util/log.hpp"
+
+namespace hidap {
+namespace {
+
+struct PlacedFixture {
+  Design d;
+  PlacementContext ctx;
+  PlacementResult placement;
+
+  PlacedFixture() : d(make()), ctx(d) {
+    set_log_level(LogLevel::Warn);
+    HiDaPOptions o;
+    o.layout_anneal.moves_per_temperature = 60;
+    o.layout_anneal.cooling = 0.8;
+    o.shape_fp.anneal.moves_per_temperature = 40;
+    placement = place_macros(d, ctx, o);
+  }
+  static Design make() {
+    CircuitSpec spec = fig1_spec();
+    spec.target_cells = 4000;
+    return generate_circuit(spec);
+  }
+};
+
+PlacedFixture& fixture() {
+  static PlacedFixture* fx = new PlacedFixture();
+  return *fx;
+}
+
+TEST(Clustering, RoughlyTargetCount) {
+  auto& fx = fixture();
+  const Clustering c = cluster_cells(fx.d, fx.ctx.ht, 50);
+  EXPECT_GE(c.clusters.size(), 10u);
+  EXPECT_LE(c.clusters.size(), 400u);
+}
+
+TEST(Clustering, EveryStdCellAssignedExactlyOnce) {
+  auto& fx = fixture();
+  const Clustering c = cluster_cells(fx.d, fx.ctx.ht, 50);
+  std::vector<int> seen(fx.d.cell_count(), 0);
+  for (std::size_t i = 0; i < c.clusters.size(); ++i) {
+    for (const CellId cell : c.clusters[i].cells) {
+      ++seen[static_cast<std::size_t>(cell)];
+      EXPECT_EQ(c.cluster_of[static_cast<std::size_t>(cell)], static_cast<int>(i));
+    }
+  }
+  for (std::size_t i = 0; i < fx.d.cell_count(); ++i) {
+    const CellKind k = fx.d.cell(static_cast<CellId>(i)).kind;
+    if (k == CellKind::Flop || k == CellKind::Comb) {
+      EXPECT_EQ(seen[i], 1) << "cell " << i;
+    } else {
+      EXPECT_EQ(seen[i], 0);
+      EXPECT_EQ(c.cluster_of[i], -1);
+    }
+  }
+}
+
+TEST(Clustering, AreasAddUp) {
+  auto& fx = fixture();
+  const Clustering c = cluster_cells(fx.d, fx.ctx.ht, 50);
+  double cluster_area = 0.0;
+  for (const CellCluster& cl : c.clusters) cluster_area += cl.area;
+  double std_area = 0.0;
+  for (const Cell& cell : fx.d.cells()) {
+    if (cell.kind == CellKind::Flop || cell.kind == CellKind::Comb) {
+      std_area += cell.area;
+    }
+  }
+  EXPECT_NEAR(cluster_area, std_area, 1e-6);
+}
+
+TEST(QuadraticPlacer, ClustersLandInsideDie) {
+  auto& fx = fixture();
+  const PlacedDesign placed = place_cells(fx.d, fx.ctx.ht, fx.placement);
+  const Rect die = placed.die();
+  for (const Point& p : placed.cluster_positions()) {
+    EXPECT_TRUE(die.contains(p)) << p.x << "," << p.y;
+  }
+}
+
+TEST(QuadraticPlacer, PositionsFollowAnchors) {
+  auto& fx = fixture();
+  const PlacedDesign placed = place_cells(fx.d, fx.ctx.ht, fx.placement);
+  // Clusters must not all collapse to the center: anchored quadratic
+  // placement spreads them.
+  const Point center = placed.die().center();
+  double max_dist = 0.0;
+  for (const Point& p : placed.cluster_positions()) {
+    max_dist = std::max(max_dist, manhattan(p, center));
+  }
+  EXPECT_GT(max_dist, placed.die().w * 0.1);
+}
+
+TEST(QuadraticPlacer, MacroPinPositionsUseOffsets) {
+  auto& fx = fixture();
+  const PlacedDesign placed = place_cells(fx.d, fx.ctx.ht, fx.placement);
+  const CellId macro = fx.d.macros()[0];
+  const MacroPlacement* mp = placed.macro_of(macro);
+  ASSERT_NE(mp, nullptr);
+  const NetPin pin{macro, 0.0f, 2.0f};
+  const Point p = placed.pin_position(pin);
+  const Rect grown{mp->rect.x - 1e-6, mp->rect.y - 1e-6, mp->rect.w + 2e-6,
+                   mp->rect.h + 2e-6};
+  EXPECT_TRUE(grown.contains(p));
+}
+
+TEST(Hpwl, PositiveAndScaledToMeters) {
+  auto& fx = fixture();
+  const PlacedDesign placed = place_cells(fx.d, fx.ctx.ht, fx.placement);
+  const WirelengthReport wl = total_hpwl(placed);
+  EXPECT_GT(wl.total_um, 0.0);
+  EXPECT_NEAR(wl.total_m, wl.total_um * 1e-6, 1e-12);
+  EXPECT_GT(wl.nets, 100u);
+}
+
+TEST(Hpwl, SingleNetBoundingBox) {
+  auto& fx = fixture();
+  const PlacedDesign placed = place_cells(fx.d, fx.ctx.ht, fx.placement);
+  // Any net's HPWL must be at most the die half-perimeter.
+  const double cap = placed.die().w + placed.die().h;
+  for (std::size_t i = 0; i < std::min<std::size_t>(fx.d.net_count(), 500); ++i) {
+    EXPECT_LE(net_hpwl(placed, static_cast<NetId>(i)), cap + 1e-6);
+  }
+}
+
+TEST(Density, MacroCoverageMatchesFootprint) {
+  auto& fx = fixture();
+  const PlacedDesign placed = place_cells(fx.d, fx.ctx.ht, fx.placement);
+  const DensityMap map = compute_density(placed, 32);
+  double covered = 0.0;
+  const double bin_area = (placed.die().w / 32) * (placed.die().h / 32);
+  for (const double v : map.macro) covered += v * bin_area;
+  double macro_area = 0.0;
+  for (const MacroPlacement& m : fx.placement.macros) macro_area += m.rect.area();
+  EXPECT_NEAR(covered, macro_area, macro_area * 0.02);
+}
+
+TEST(Density, CellAreaConserved) {
+  auto& fx = fixture();
+  const PlacedDesign placed = place_cells(fx.d, fx.ctx.ht, fx.placement);
+  const DensityMap map = compute_density(placed, 32);
+  double mapped = 0.0;
+  const double bin_area = (placed.die().w / 32) * (placed.die().h / 32);
+  for (const double v : map.cell) mapped += v * bin_area;
+  double std_area = 0.0;
+  for (const Cell& c : fx.d.cells()) {
+    if (c.kind == CellKind::Flop || c.kind == CellKind::Comb) std_area += c.area;
+  }
+  EXPECT_NEAR(mapped, std_area, std_area * 0.02);
+}
+
+TEST(Density, PeakNearMacrosBounded) {
+  auto& fx = fixture();
+  const PlacedDesign placed = place_cells(fx.d, fx.ctx.ht, fx.placement);
+  const DensityMap map = compute_density(placed, 32);
+  EXPECT_GE(map.peak_cell_density(), map.peak_density_near_macros() * 0.999);
+}
+
+}  // namespace
+}  // namespace hidap

@@ -1,0 +1,107 @@
+// Normalized Polish expression tests: validity, Wong-Liu moves keep
+// invariants (property sweep), slicing-tree decoding.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "floorplan/polish_expression.hpp"
+
+namespace hidap {
+namespace {
+
+TEST(Polish, InitialIsValid) {
+  for (int n = 1; n <= 12; ++n) {
+    const PolishExpression e = PolishExpression::initial(n);
+    EXPECT_TRUE(e.is_valid()) << e.to_string();
+    EXPECT_EQ(e.operand_count(), n);
+    EXPECT_EQ(e.size(), static_cast<std::size_t>(2 * n - 1));
+  }
+}
+
+TEST(Polish, ValidityRejectsBadExpressions) {
+  EXPECT_FALSE(PolishExpression(std::vector<int>{}).is_valid());
+  EXPECT_FALSE(PolishExpression({kOpV}).is_valid());
+  EXPECT_FALSE(PolishExpression({0, kOpV, 1}).is_valid());        // operator too early
+  EXPECT_FALSE(PolishExpression({0, 1, 2, kOpV}).is_valid());     // missing operator
+  EXPECT_FALSE(PolishExpression({0, 1, kOpV, 2, kOpV, kOpV}).is_valid());  // unbalanced
+  // Non-normalized: two identical adjacent operators.
+  EXPECT_FALSE(PolishExpression({0, 1, kOpV, 2, kOpV, 3, kOpV, kOpV}).is_valid());
+  EXPECT_TRUE(PolishExpression({0, 1, kOpV, 2, kOpH}).is_valid());
+}
+
+TEST(Polish, SwapOperandsKeepsStructure) {
+  Rng rng(1);
+  PolishExpression e = PolishExpression::initial(6);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(e.move_swap_operands(rng));
+    ASSERT_TRUE(e.is_valid()) << e.to_string();
+  }
+  // All operands still present exactly once.
+  std::set<int> ops;
+  for (const int el : e.elements()) {
+    if (!is_operator(el)) ops.insert(el);
+  }
+  EXPECT_EQ(ops.size(), 6u);
+}
+
+TEST(Polish, InvertChainFlipsOperators) {
+  Rng rng(2);
+  PolishExpression e = PolishExpression::initial(2);  // "0 1 V"
+  ASSERT_TRUE(e.move_invert_chain(rng));
+  EXPECT_EQ(e.elements()[2], kOpH);
+  ASSERT_TRUE(e.is_valid());
+}
+
+class PolishMoveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolishMoveProperty, RandomMoveSequencePreservesInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 3 + GetParam() % 9;
+  PolishExpression e = PolishExpression::initial(n);
+  int applied = 0;
+  for (int i = 0; i < 500; ++i) {
+    PolishExpression before = e;
+    if (e.perturb(rng)) {
+      ++applied;
+      ASSERT_TRUE(e.is_valid()) << "after move " << i << ": " << e.to_string();
+      ASSERT_EQ(e.operand_count(), n);
+      ASSERT_EQ(e.size(), before.size());
+    } else {
+      ASSERT_EQ(e, before);  // failed move must not corrupt state
+    }
+  }
+  EXPECT_GT(applied, 250);  // moves should mostly succeed
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolishMoveProperty, ::testing::Range(1, 13));
+
+TEST(SlicingTree, DecodeSimple) {
+  // "0 1 V 2 H": (0|1) stacked under 2... V = side by side, then H stacks.
+  const PolishExpression e({0, 1, kOpV, 2, kOpH});
+  const SlicingTree t = SlicingTree::from_polish(e);
+  ASSERT_EQ(t.nodes.size(), 5u);
+  const auto& root = t.nodes[static_cast<std::size_t>(t.root)];
+  EXPECT_FALSE(root.is_leaf());
+  EXPECT_EQ(root.op, kOpH);
+  const auto& left = t.nodes[static_cast<std::size_t>(root.left)];
+  EXPECT_EQ(left.op, kOpV);
+  const auto& right = t.nodes[static_cast<std::size_t>(root.right)];
+  EXPECT_TRUE(right.is_leaf());
+  EXPECT_EQ(right.leaf, 2);
+}
+
+TEST(SlicingTree, InvalidExpressionThrows) {
+  EXPECT_THROW(SlicingTree::from_polish(PolishExpression({0, kOpV})),
+               std::invalid_argument);
+  EXPECT_THROW(SlicingTree::from_polish(PolishExpression({0, 1})),
+               std::invalid_argument);
+}
+
+TEST(Polish, ToStringReadable) {
+  const PolishExpression e({0, 1, kOpV, 2, kOpH});
+  EXPECT_EQ(e.to_string(), "0 1 V 2 H");
+}
+
+}  // namespace
+}  // namespace hidap

@@ -1,0 +1,73 @@
+// Report-table tests: alignment, CSV escaping, numeric formatting.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "eval/report.hpp"
+
+namespace hidap {
+namespace {
+
+TEST(ReportTable, NumFormatting) {
+  EXPECT_EQ(ReportTable::num(1.23456), "1.235");
+  EXPECT_EQ(ReportTable::num(1.23456, 1), "1.2");
+  EXPECT_EQ(ReportTable::num(-7, 0), "-7");
+}
+
+TEST(ReportTable, RowsPadToColumnCount) {
+  ReportTable t({"a", "b", "c"});
+  t.add_row({"1"});
+  t.add_row({"1", "2", "3", "4"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(ReportTable, CsvPlain) {
+  ReportTable t({"flow", "wl"});
+  t.add_row({"HiDaP", "1.013"});
+  const std::string path = "test_report.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "flow,wl");
+  EXPECT_EQ(line2, "HiDaP,1.013");
+  std::remove(path.c_str());
+}
+
+TEST(ReportTable, CsvEscaping) {
+  ReportTable t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  const std::string path = "test_report_esc.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string header, line;
+  std::getline(in, header);
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"a,b\",\"say \"\"hi\"\"\"");
+  std::remove(path.c_str());
+}
+
+TEST(ReportTable, PrintAligned) {
+  ReportTable t({"x", "longer"});
+  t.add_row({"wide-cell", "1"});
+  const std::string path = "test_report_print.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  t.print(f);
+  std::fclose(f);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  // Header, rule, row.
+  EXPECT_NE(text.find("x          longer"), std::string::npos);
+  EXPECT_NE(text.find("wide-cell"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hidap

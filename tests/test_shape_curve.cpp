@@ -1,0 +1,178 @@
+// Shape-curve tests (paper Fig. 4): Pareto maintenance, composition
+// algebra, fitting queries. Includes parameterized property sweeps.
+
+#include <gtest/gtest.h>
+
+#include "geometry/shape_curve.hpp"
+#include "util/rng.hpp"
+
+namespace hidap {
+namespace {
+
+bool is_pareto_sorted(const ShapeCurve& c) {
+  const auto& pts = c.points();
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (!(pts[i - 1].w < pts[i].w)) return false;
+    if (!(pts[i - 1].h > pts[i].h)) return false;
+  }
+  return true;
+}
+
+TEST(ShapeCurve, RectCurveHasBothRotations) {
+  const ShapeCurve c = ShapeCurve::for_rect(4, 2);
+  ASSERT_EQ(c.points().size(), 2u);
+  EXPECT_EQ(c.points()[0], (Shape{2, 4}));
+  EXPECT_EQ(c.points()[1], (Shape{4, 2}));
+}
+
+TEST(ShapeCurve, SquareRectCollapsesToOnePoint) {
+  const ShapeCurve c = ShapeCurve::for_rect(3, 3);
+  EXPECT_EQ(c.points().size(), 1u);
+}
+
+TEST(ShapeCurve, AddMaintainsParetoFrontier) {
+  ShapeCurve c;
+  c.add({4, 4});
+  c.add({2, 6});
+  c.add({6, 2});
+  c.add({5, 5});  // dominated by (4,4)
+  c.add({3, 5});
+  EXPECT_TRUE(is_pareto_sorted(c));
+  for (const Shape& s : c.points()) EXPECT_FALSE(s == (Shape{5, 5}));
+  EXPECT_EQ(c.points().size(), 4u);
+}
+
+TEST(ShapeCurve, DominatedInsertIsNoop) {
+  ShapeCurve c;
+  c.add({2, 2});
+  c.add({3, 3});
+  EXPECT_EQ(c.points().size(), 1u);
+  c.add({2, 3});
+  EXPECT_EQ(c.points().size(), 1u);
+}
+
+TEST(ShapeCurve, ComposeHorizontalAddsWidths) {
+  const ShapeCurve a = ShapeCurve::for_rect(2, 1);
+  const ShapeCurve b = ShapeCurve::for_rect(1, 1, false);
+  const ShapeCurve c = ShapeCurve::compose_horizontal(a, b);
+  // (1,2)+(1,1) -> (2,2); (2,1)+(1,1) -> (3,1)
+  EXPECT_TRUE(c.fits(2, 2));
+  EXPECT_TRUE(c.fits(3, 1));
+  EXPECT_FALSE(c.fits(1.9, 10));
+}
+
+TEST(ShapeCurve, ComposeVerticalAddsHeights) {
+  const ShapeCurve a = ShapeCurve::for_rect(2, 1);
+  const ShapeCurve b = ShapeCurve::for_rect(2, 1);
+  const ShapeCurve c = ShapeCurve::compose_vertical(a, b);
+  EXPECT_TRUE(c.fits(2, 2));   // stacked flat
+  EXPECT_TRUE(c.fits(1, 4));   // stacked upright
+  EXPECT_FALSE(c.fits(1.5, 2.5));
+}
+
+TEST(ShapeCurve, FitsIsMonotone) {
+  const ShapeCurve c = ShapeCurve::for_rect(4, 2);
+  EXPECT_TRUE(c.fits(4, 2));
+  EXPECT_TRUE(c.fits(5, 3));
+  EXPECT_FALSE(c.fits(3.9, 1.9));
+}
+
+TEST(ShapeCurve, MinWidthForHeight) {
+  ShapeCurve c;
+  c.add({2, 6});
+  c.add({4, 4});
+  c.add({6, 2});
+  EXPECT_EQ(c.min_width_for_height(6).value(), 2.0);
+  EXPECT_EQ(c.min_width_for_height(4.5).value(), 4.0);
+  EXPECT_EQ(c.min_width_for_height(2).value(), 6.0);
+  EXPECT_FALSE(c.min_width_for_height(1.5).has_value());
+}
+
+TEST(ShapeCurve, MinHeightForWidth) {
+  ShapeCurve c;
+  c.add({2, 6});
+  c.add({4, 4});
+  c.add({6, 2});
+  EXPECT_EQ(c.min_height_for_width(2).value(), 6.0);
+  EXPECT_EQ(c.min_height_for_width(5).value(), 4.0);
+  EXPECT_EQ(c.min_height_for_width(100).value(), 2.0);
+  EXPECT_FALSE(c.min_height_for_width(1).has_value());
+}
+
+TEST(ShapeCurve, BestFitPicksSmallestArea) {
+  ShapeCurve c;
+  c.add({2, 6});   // area 12
+  c.add({4, 4});   // area 16
+  c.add({6, 2});   // area 12
+  const auto best = c.best_fit(6, 6);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->area(), 12.0);
+  EXPECT_FALSE(c.best_fit(1, 1).has_value());
+}
+
+TEST(ShapeCurve, SoftAreaCurveCoversAspects) {
+  const ShapeCurve c = ShapeCurve::soft_area(100.0, 0.25, 4.0, 9);
+  EXPECT_TRUE(is_pareto_sorted(c));
+  for (const Shape& s : c.points()) EXPECT_NEAR(s.area(), 100.0, 1e-6);
+  // Extremes: aspect 1/4 and 4.
+  EXPECT_NEAR(c.points().front().w, std::sqrt(100.0 / 4.0), 1e-6);
+}
+
+TEST(ShapeCurve, PruneKeepsEndpoints) {
+  ShapeCurve c;
+  for (int i = 1; i <= 50; ++i) c.add({double(i), 51.0 - i});
+  c.prune(8);
+  EXPECT_LE(c.points().size(), 8u);
+  EXPECT_EQ(c.points().front().w, 1.0);
+  EXPECT_EQ(c.points().back().w, 50.0);
+  EXPECT_TRUE(is_pareto_sorted(c));
+}
+
+TEST(ShapeCurve, MergeIsParetoUnion) {
+  ShapeCurve a = ShapeCurve::for_rect(4, 2);
+  const ShapeCurve b = ShapeCurve::for_rect(3, 3);
+  a.merge(b);
+  EXPECT_TRUE(is_pareto_sorted(a));
+  EXPECT_TRUE(a.fits(3, 3));
+  EXPECT_TRUE(a.fits(2, 4));
+}
+
+// ---- parameterized property sweep over random curves ---------------------
+
+class ShapeCurveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShapeCurveProperty, RandomAddsKeepInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  ShapeCurve c;
+  for (int i = 0; i < 200; ++i) {
+    c.add({rng.next_double(0.5, 50.0), rng.next_double(0.5, 50.0)});
+    ASSERT_TRUE(is_pareto_sorted(c));
+  }
+  // Every added point must be fittable at its own size or dominated by a
+  // smaller point -- both imply fits(w+eps, h+eps).
+  const auto ms = c.min_area_shape();
+  ASSERT_TRUE(ms.has_value());
+  EXPECT_TRUE(c.fits(ms->w, ms->h));
+}
+
+TEST_P(ShapeCurveProperty, CompositionContainsSumOfMinAreas) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 77 + 5);
+  ShapeCurve a, b;
+  for (int i = 0; i < 10; ++i) {
+    a.add({rng.next_double(1, 20), rng.next_double(1, 20)});
+    b.add({rng.next_double(1, 20), rng.next_double(1, 20)});
+  }
+  for (const ShapeCurve& c :
+       {ShapeCurve::compose_horizontal(a, b), ShapeCurve::compose_vertical(a, b)}) {
+    ASSERT_TRUE(is_pareto_sorted(c));
+    const double min_area = c.min_area_shape()->area();
+    // The composition cannot beat the sum of the children's min areas.
+    EXPECT_GE(min_area + 1e-9,
+              a.min_area_shape()->area() + b.min_area_shape()->area());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShapeCurveProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace hidap

@@ -1,0 +1,118 @@
+// Tests for the utility substrate: RNG, string helpers, array naming.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/string_utils.hpp"
+#include "util/timer.hpp"
+
+namespace hidap {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(13), 13u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(5);
+  Rng child = parent.split();
+  EXPECT_NE(parent.next_u64(), child.next_u64());
+}
+
+TEST(ArrayName, BracketForm) {
+  const auto p = parse_array_name("data_q[17]");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->base, "data_q");
+  EXPECT_EQ(p->index, 17);
+}
+
+TEST(ArrayName, UnderscoreForm) {
+  const auto p = parse_array_name("stage_3");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->base, "stage");
+  EXPECT_EQ(p->index, 3);
+}
+
+TEST(ArrayName, PlainNameRejected) {
+  EXPECT_FALSE(parse_array_name("clock").has_value());
+  EXPECT_FALSE(parse_array_name("").has_value());
+  EXPECT_FALSE(parse_array_name("x[]").has_value());
+  EXPECT_FALSE(parse_array_name("x[a]").has_value());
+  EXPECT_FALSE(parse_array_name("_5").has_value());  // no base
+}
+
+TEST(ArrayName, BracketTakesPrecedenceOverUnderscore) {
+  const auto p = parse_array_name("bus_2[9]");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->base, "bus_2");
+  EXPECT_EQ(p->index, 9);
+}
+
+TEST(StringUtils, SplitKeepsEmptyTokens) {
+  const auto t = split("a//b/", '/');
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0], "a");
+  EXPECT_EQ(t[1], "");
+  EXPECT_EQ(t[2], "b");
+  EXPECT_EQ(t[3], "");
+}
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trim("  x y\t"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+}
+
+TEST(StringUtils, StartsWith) {
+  EXPECT_TRUE(starts_with("HIDAP_DFF", "HIDAP_"));
+  EXPECT_FALSE(starts_with("HI", "HIDAP_"));
+}
+
+TEST(StringUtils, JoinPath) {
+  EXPECT_EQ(join_path("top/a", "b"), "top/a/b");
+  EXPECT_EQ(join_path("", "b"), "b");
+}
+
+TEST(Timer, MeasuresNonNegative) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 10000; ++i) sink = sink + i;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.milliseconds(), t.seconds());
+}
+
+}  // namespace
+}  // namespace hidap

@@ -1,0 +1,130 @@
+// Visualization tests: SVG and PPM outputs are produced and structurally
+// sound.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/hidap.hpp"
+#include "gen/suite.hpp"
+#include "place/density.hpp"
+#include "util/log.hpp"
+#include "viz/heatmap.hpp"
+#include "viz/svg.hpp"
+
+namespace hidap {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct Fixture {
+  Design d;
+  PlacementContext ctx;
+  PlacementResult placement;
+  Fixture() : d(generate_circuit(fig1_spec())), ctx(d) {
+    set_log_level(LogLevel::Warn);
+    HiDaPOptions o;
+    o.layout_anneal.moves_per_temperature = 50;
+    o.shape_fp.anneal.moves_per_temperature = 40;
+    placement = place_macros(d, ctx, o);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture* fx = new Fixture();
+  return *fx;
+}
+
+TEST(Svg, WriterProducesWellFormedDocument) {
+  SvgWriter svg(Rect{0, 0, 100, 50});
+  svg.add_rect(Rect{10, 10, 20, 10}, "#112233", "#000000");
+  svg.add_line(Point{0, 0}, Point{100, 50}, "#ff0000", 2.0);
+  svg.add_arrow(Point{10, 10}, Point{90, 40}, "#00ff00");
+  svg.add_text(Point{5, 5}, "hello");
+  svg.add_circle(Point{50, 25}, 3, "#0000ff");
+  const std::string doc = svg.str();
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+  EXPECT_NE(doc.find("<rect"), std::string::npos);
+  EXPECT_NE(doc.find("hello"), std::string::npos);
+}
+
+TEST(Svg, YAxisFlipped) {
+  SvgWriter svg(Rect{0, 0, 100, 100});
+  svg.add_circle(Point{0, 0}, 1, "#000");  // bottom-left in die coords
+  const std::string doc = svg.str();
+  // Bottom-left must map to y=100 in SVG pixel space (y grows downward).
+  EXPECT_NE(doc.find("cy=\"800.00\""), std::string::npos);
+}
+
+TEST(Svg, PlacementFileWritten) {
+  auto& fx = fixture();
+  const std::string path = "test_placement.svg";
+  write_placement_svg(fx.d, fx.placement, path);
+  const std::string doc = slurp(path);
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  // One rect per macro plus die outline.
+  std::size_t rects = 0, pos = 0;
+  while ((pos = doc.find("<rect", pos)) != std::string::npos) {
+    ++rects;
+    pos += 5;
+  }
+  EXPECT_GE(rects, fx.placement.macros.size() + 1);
+  std::remove(path.c_str());
+}
+
+TEST(Svg, SnapshotFileWritten) {
+  auto& fx = fixture();
+  ASSERT_FALSE(fx.placement.snapshots.empty());
+  const std::string path = "test_snapshot.svg";
+  write_snapshot_svg(fx.d, fx.placement.snapshots.front(), path);
+  EXPECT_NE(slurp(path).find("<svg"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Heatmap, PpmHeaderAndSize) {
+  auto& fx = fixture();
+  const PlacedDesign placed = place_cells(fx.d, fx.ctx.ht, fx.placement);
+  const DensityMap map = compute_density(placed, 16);
+  const std::string path = "test_density.ppm";
+  write_density_ppm(map, path);
+  std::ifstream in(path);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P3");
+  EXPECT_EQ(w, 16);
+  EXPECT_EQ(h, 16);
+  EXPECT_EQ(maxval, 255);
+  int count = 0, v;
+  while (in >> v) {
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 255);
+    ++count;
+  }
+  EXPECT_EQ(count, 16 * 16 * 3);
+  std::remove(path.c_str());
+}
+
+TEST(Heatmap, CsvHasGridRows) {
+  auto& fx = fixture();
+  const PlacedDesign placed = place_cells(fx.d, fx.ctx.ht, fx.placement);
+  const DensityMap map = compute_density(placed, 8);
+  const std::string path = "test_density.csv";
+  write_density_csv(map, path);
+  const std::string doc = slurp(path);
+  int lines = 0;
+  for (const char c : doc) lines += (c == '\n');
+  EXPECT_GE(lines, 8 * 2);  // cell block + macro block
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hidap
