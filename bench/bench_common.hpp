@@ -7,6 +7,8 @@
 //                   (default varies per bench; e.g. 0.03 for Table II)
 //   HIDAP_FAST=1 -- slash SA effort for smoke runs
 //   HIDAP_CIRCUITS=c1,c3 -- restrict the suite
+//   HIDAP_THREADS=n -- lanes for the parallel suite driver (default:
+//                   hardware concurrency; results are identical at any n)
 
 #include <cmath>
 #include <cstdio>
@@ -17,6 +19,7 @@
 
 #include "eval/flows.hpp"
 #include "gen/suite.hpp"
+#include "runtime/thread_pool.hpp"
 #include "util/log.hpp"
 
 namespace hidap::benchutil {
@@ -70,6 +73,27 @@ inline FlowOptions bench_flow_options(std::uint64_t seed = 1) {
     o.eval.place.solver_iterations = 20;
   }
   return o;
+}
+
+/// Parallel suite driver: generates every circuit and runs the 3-flow
+/// comparison, sharded across the global thread pool (circuits and the
+/// sweeps inside each flow nest on the same pool). Results come back in
+/// suite order and are bit-identical at any HIDAP_THREADS setting; only
+/// the wall clock changes. Per-circuit progress goes through the
+/// mutex-serialized util/log progress channel so parallel runs never
+/// interleave lines with the stdout tables.
+inline std::vector<FlowComparison> run_suite_flows(const std::vector<SuiteEntry>& suite,
+                                                   const char* tag) {
+  std::vector<FlowComparison> results(suite.size());
+  parallel_for(suite.size(), [&](std::size_t i) {
+    const CircuitSpec& spec = suite[i].spec;
+    log_progress("[%s] running %s (%d macros, %d cells)...", tag, spec.name.c_str(),
+                 spec.macro_count, spec.target_cells);
+    const Design design = generate_circuit(spec);
+    results[i] = compare_flows(design, bench_flow_options());
+    log_progress("[%s] %s done", tag, spec.name.c_str());
+  });
+  return results;
 }
 
 inline std::string out_dir() {

@@ -1,9 +1,12 @@
 // Google-benchmark kernel timings for the library's hot paths: shape
 // curve composition, budget layout, Polish-expression moves, Gseq
 // extraction, multi-source BFS (target-area assignment), affinity
-// inference and full per-level layout annealing.
+// inference, full per-level layout annealing, and the parallel runtime
+// (task dispatch overhead, parallel_for scaling).
 
 #include <benchmark/benchmark.h>
+
+#include <numeric>
 
 #include "core/dataflow_inference.hpp"
 #include "core/decluster.hpp"
@@ -13,6 +16,7 @@
 #include "floorplan/area_floorplanner.hpp"
 #include "floorplan/budget_layout.hpp"
 #include "gen/suite.hpp"
+#include "runtime/thread_pool.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
@@ -149,6 +153,67 @@ void BM_LayoutAnneal(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LayoutAnneal)->Arg(6)->Arg(12)->Unit(benchmark::kMillisecond);
+
+// --- parallel runtime ------------------------------------------------
+
+// Round-trip cost of one futures-based dispatch (submit + get).
+void BM_PoolSubmit(benchmark::State& state) {
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto future = pool.submit([] { return 1; });
+    benchmark::DoNotOptimize(future.get());
+  }
+}
+BENCHMARK(BM_PoolSubmit)->Arg(1)->Arg(2)->Arg(4);
+
+// Fork-join cost of an empty parallel_for (pure runtime overhead).
+void BM_ParallelForDispatch(benchmark::State& state) {
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    pool.parallel_for(64, [](std::size_t i) { benchmark::DoNotOptimize(i); });
+  }
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(2)->Arg(4);
+
+// parallel_for scaling on a synthetic HPWL-like kernel: per-net
+// bounding-box perimeter over random pin clouds, one shard per lane
+// writing its own partial sum (the runtime's determinism contract).
+void BM_ParallelForHpwlKernel(benchmark::State& state) {
+  const int lanes = static_cast<int>(state.range(0));
+  constexpr std::size_t kNets = 20000;
+  constexpr int kPins = 8;
+  static const std::vector<Point>* pins = [] {
+    Rng rng(13);
+    auto* p = new std::vector<Point>(kNets * kPins);
+    for (Point& pt : *p) pt = {rng.next_double(0, 1000), rng.next_double(0, 1000)};
+    return p;
+  }();
+  ThreadPool pool(lanes);
+  const std::size_t shards = static_cast<std::size_t>(lanes) * 4;
+  const std::size_t per_shard = (kNets + shards - 1) / shards;
+  std::vector<double> partial(shards);
+  for (auto _ : state) {
+    pool.parallel_for(shards, [&](std::size_t s) {
+      double sum = 0.0;
+      const std::size_t end = std::min(kNets, (s + 1) * per_shard);
+      for (std::size_t net = s * per_shard; net < end; ++net) {
+        double xmin = 1e30, xmax = -1e30, ymin = 1e30, ymax = -1e30;
+        for (int p = 0; p < kPins; ++p) {
+          const Point& pt = (*pins)[net * kPins + static_cast<std::size_t>(p)];
+          xmin = std::min(xmin, pt.x);
+          xmax = std::max(xmax, pt.x);
+          ymin = std::min(ymin, pt.y);
+          ymax = std::max(ymax, pt.y);
+        }
+        sum += (xmax - xmin) + (ymax - ymin);
+      }
+      partial[s] = sum;
+    });
+    benchmark::DoNotOptimize(
+        std::accumulate(partial.begin(), partial.end(), 0.0));
+  }
+}
+BENCHMARK(BM_ParallelForHpwlKernel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 

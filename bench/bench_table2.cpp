@@ -24,12 +24,11 @@ int main() {
   double wns_ind = 0, wns_hid = 0, wns_hand = 0;
   double t_ind = 0, t_hid = 0, t_hand = 0;
 
-  std::printf("Reproducing Table II (suite scale %.3f of paper cell counts)\n", scale);
+  std::printf("Reproducing Table II (suite scale %.3f of paper cell counts, %d threads)\n",
+              scale, ThreadPool::default_thread_count());
   print_rule();
-  for (const SuiteEntry& entry : suite) {
-    std::fprintf(stderr, "[table2] running %s...\n", entry.spec.name.c_str());
-    const Design design = generate_circuit(entry.spec);
-    const FlowComparison cmp = compare_flows(design, bench_flow_options());
+  const std::vector<FlowComparison> results = run_suite_flows(suite, "table2");
+  for (const FlowComparison& cmp : results) {
     wl_ind.push_back(cmp.indeda.wl_norm);
     wl_hid.push_back(cmp.hidap.wl_norm);
     wl_hand.push_back(cmp.handfp.wl_norm);

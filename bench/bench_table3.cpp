@@ -24,22 +24,20 @@ int main() {
   const double scale = env_scale(0.1);
   const auto suite = selected_suite(scale);
 
-  std::printf("Reproducing Table III (suite scale %.3f of paper cell counts)\n", scale);
+  std::printf("Reproducing Table III (suite scale %.3f of paper cell counts, %d threads)\n",
+              scale, ThreadPool::default_thread_count());
   std::printf("%-4s %-7s %8s %8s %8s %8s %9s\n", "ckt", "flow", "WL(m)", "norm",
               "GRC%", "WNS%", "TNS(ns)");
   print_rule();
   int hidap_beats_indeda = 0;
   int hidap_beats_handfp = 0;
   ReportTable csv({"circuit", "flow", "wl_m", "wl_norm", "grc_pct", "wns_pct", "tns_ns"});
-  for (const SuiteEntry& entry : suite) {
-    std::fprintf(stderr, "[table3] running %s (%d macros, %d cells)...\n",
-                 entry.spec.name.c_str(), entry.spec.macro_count,
-                 entry.spec.target_cells);
-    const Design design = generate_circuit(entry.spec);
-    const FlowComparison cmp = compare_flows(design, bench_flow_options());
-    print_row(entry.spec.name.c_str(), cmp.indeda, csv);
-    print_row(entry.spec.name.c_str(), cmp.hidap, csv);
-    print_row(entry.spec.name.c_str(), cmp.handfp, csv);
+  const std::vector<FlowComparison> results = run_suite_flows(suite, "table3");
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const FlowComparison& cmp = results[i];
+    print_row(suite[i].spec.name.c_str(), cmp.indeda, csv);
+    print_row(suite[i].spec.name.c_str(), cmp.hidap, csv);
+    print_row(suite[i].spec.name.c_str(), cmp.handfp, csv);
     print_rule();
     hidap_beats_indeda += cmp.hidap.wl_m < cmp.indeda.wl_m;
     hidap_beats_handfp += cmp.hidap.wl_m < cmp.handfp.wl_m;

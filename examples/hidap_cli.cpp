@@ -22,6 +22,7 @@
 #include "netlist/def_io.hpp"
 #include "netlist/verilog_parser.hpp"
 #include "netlist/verilog_writer.hpp"
+#include "runtime/thread_pool.hpp"
 #include "util/log.hpp"
 #include "viz/svg.hpp"
 
@@ -35,16 +36,21 @@ struct Args {
   double lambda = 0.5, k = 2.0, halo = 0.0, effort = 1.0;
   std::uint64_t seed = 1;
   int cells = 20000, macros = 24;
+  int threads = 0, chains = 1;
 };
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: hidap_cli <place|eval|flows|gen> -i <netlist.v> [options]\n"
                "  place: -o out.def [--lambda L] [--k K] [--seed S] [--halo H]\n"
-               "         [--effort E] [--svg out.svg] [--fix preplaced.def]\n"
+               "         [--effort E] [--chains C] [--svg out.svg] [--fix preplaced.def]\n"
                "  eval:  -p placed.def\n"
                "  flows: [--csv table.csv] [--seed S]\n"
-               "  gen:   -o out.v [--cells N] [--macros M] [--seed S]\n");
+               "  gen:   -o out.v [--cells N] [--macros M] [--seed S]\n"
+               "  --threads N  worker lanes for sweeps/flows/multi-chain SA\n"
+               "               (default: HIDAP_THREADS or hardware concurrency;\n"
+               "               results are identical at any N, 1 = sequential)\n"
+               "  --chains C   independent SA chains per layout, best kept\n");
   std::exit(2);
 }
 
@@ -71,6 +77,8 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--seed") args.seed = std::strtoull(next().c_str(), nullptr, 10);
     else if (flag == "--cells") args.cells = std::atoi(next().c_str());
     else if (flag == "--macros") args.macros = std::atoi(next().c_str());
+    else if (flag == "--threads") args.threads = std::atoi(next().c_str());
+    else if (flag == "--chains") args.chains = std::atoi(next().c_str());
     else usage();
   }
   return args;
@@ -84,6 +92,8 @@ int cmd_place(const Args& args) {
   options.k = args.k;
   options.macro_halo = args.halo;
   options.seed = args.seed;
+  options.num_threads = args.threads;
+  options.layout_anneal.chains = std::max(1, args.chains);
   options.scale_effort(args.effort);
   if (!args.fix.empty()) {
     const DefContents fixed = parse_def_file(args.fix);
@@ -127,6 +137,8 @@ int cmd_flows(const Args& args) {
   const Design design = parse_verilog_file(args.input);
   FlowOptions options;
   options.seed = args.seed;
+  options.hidap.num_threads = args.threads;
+  options.hidap.layout_anneal.chains = std::max(1, args.chains);
   const FlowComparison cmp = compare_flows(design, options);
   ReportTable table({"flow", "WL(m)", "norm", "GRC%", "WNS%", "TNS(ns)", "time(s)"});
   for (const Metrics* m : {&cmp.indeda, &cmp.hidap, &cmp.handfp}) {
@@ -161,6 +173,8 @@ int cmd_gen(const Args& args) {
 int main(int argc, char** argv) {
   set_log_level(LogLevel::Warn);
   const Args args = parse_args(argc, argv);
+  // Size the global pool before any parallel section runs.
+  if (args.threads > 0) ThreadPool::set_default_thread_count(args.threads);
   try {
     if (args.command == "place") return cmd_place(args);
     if (args.command == "eval") return cmd_eval(args);

@@ -65,26 +65,40 @@ LayoutSolution optimize_layout(const LayoutProblem& problem,
     return solution;
   }
 
-  PolishExpression best = current;
-  PolishExpression backup = current;
-  const double initial_cost = evaluate(problem, current, nullptr);
-
-  Rng move_rng(anneal_options.seed ^ 0x7fb5d329728ea185ULL);
-  AnnealHooks hooks;
-  hooks.propose = [&]() {
-    backup = current;
-    for (int tries = 0; tries < 8; ++tries) {
-      if (current.perturb(move_rng)) break;
-    }
-    return evaluate(problem, current, nullptr);
-  };
-  hooks.reject = [&]() { current = backup; };
-  hooks.on_new_best = [&](double) { best = current; };
-
   AnnealOptions opts = anneal_options;
   opts.moves_per_temperature =
       std::max(opts.moves_per_temperature, static_cast<int>(n) * 12);
-  anneal(initial_cost, opts, hooks);
+
+  // Chain-local SA state; chain c only ever touches states[c], so the
+  // chains can run on pool threads without synchronization.
+  struct ChainState {
+    PolishExpression current, backup, best;
+    Rng rng{0};
+  };
+  std::vector<ChainState> states(static_cast<std::size_t>(std::max(1, opts.chains)));
+  const auto make_chain = [&problem, &states, n](int c, std::uint64_t seed) {
+    ChainState& st = states[static_cast<std::size_t>(c)];
+    st.current = PolishExpression::initial(static_cast<int>(n));
+    st.backup = st.current;
+    st.best = st.current;
+    st.rng.reseed(seed ^ 0x7fb5d329728ea185ULL);
+    AnnealChain chain;
+    chain.initial_cost = evaluate(problem, st.current, nullptr);
+    chain.hooks.propose = [&problem, &st]() {
+      st.backup = st.current;
+      for (int tries = 0; tries < 8; ++tries) {
+        if (st.current.perturb(st.rng)) break;
+      }
+      return evaluate(problem, st.current, nullptr);
+    };
+    chain.hooks.reject = [&st]() { st.current = st.backup; };
+    chain.hooks.on_new_best = [&st](double) { st.best = st.current; };
+    return chain;
+  };
+
+  int winner = 0;
+  anneal_multichain(opts, make_chain, &winner, problem.num_threads);
+  PolishExpression& best = states[static_cast<std::size_t>(winner)].best;
 
   BudgetResult res;
   solution.cost = evaluate(problem, best, &res);

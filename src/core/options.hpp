@@ -45,6 +45,13 @@ struct HiDaPOptions {
   // paper's conclusions.
   std::vector<MacroPlacement> preplaced;
 
+  // Task-level parallelism (runtime/thread_pool.hpp): lambda/seed
+  // sweeps, multi-chain SA and the flow comparison shard over the
+  // global pool. 0 = auto (HIDAP_THREADS or hardware concurrency);
+  // 1 reproduces the sequential behavior exactly. Results are
+  // bit-identical at any setting.
+  int num_threads = 0;
+
   std::uint64_t seed = 1;
 
   /// Scales SA effort (moves per temperature, cooling) by a factor;

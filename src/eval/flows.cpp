@@ -1,12 +1,53 @@
 #include "eval/flows.hpp"
 
+#include <cstddef>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "baseline/wall_packer.hpp"
+#include "runtime/thread_pool.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace hidap {
+
+namespace {
+
+// One configuration of a sweep: the placement and its full evaluation,
+// produced by a pool task that only writes its own slot. The winner is
+// picked sequentially afterwards, in sweep order, so the selection -- and
+// therefore the returned placement -- is bit-identical at any thread
+// count (see runtime/thread_pool.hpp for the determinism contract).
+struct SweepSlot {
+  PlacementResult result;
+  Metrics metrics;
+  double seconds = 0.0;  ///< this configuration's own wall time
+};
+
+// The flow's reported effort is the SUM of its configurations' own task
+// times, not the fork-join span: on a shared pool the span overlaps the
+// other flows' and circuits' work, which would inflate the Table II/III
+// effort columns and make them thread-count dependent.
+PlacementResult take_best(std::vector<SweepSlot>& slots, const char* flow_name) {
+  PlacementResult best;
+  double effort = 0.0;
+  std::size_t winner = slots.size();
+  double best_wl = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    effort += slots[i].seconds;
+    if (slots[i].metrics.wl_m < best_wl) {
+      best_wl = slots[i].metrics.wl_m;
+      winner = i;
+    }
+  }
+  if (winner < slots.size()) best = std::move(slots[winner].result);
+  best.runtime_seconds = effort;
+  best.flow_name = flow_name;
+  return best;
+}
+
+}  // namespace
 
 PlacementResult run_indeda_flow(const Design& design, const PlacementContext& context,
                                 const FlowOptions& options) {
@@ -30,66 +71,70 @@ PlacementResult run_indeda_flow(const Design& design, const PlacementContext& co
 
 PlacementResult run_hidap_flow(const Design& design, const PlacementContext& context,
                                const FlowOptions& options) {
-  Timer timer;
-  PlacementResult best;
-  double best_wl = std::numeric_limits<double>::max();
-  for (const double lambda : HiDaPOptions::kLambdaSweep) {
-    HiDaPOptions opts = options.hidap;
-    opts.lambda = lambda;
-    opts.seed = options.seed;
-    PlacementResult result = place_macros(design, context, opts);
-    Metrics m = evaluate_placement(design, context.ht, context.seq, result, options.eval);
-    HIDAP_LOG_INFO("HiDaP lambda=%.1f: WL=%.3f m", lambda, m.wl_m);
-    if (m.wl_m < best_wl) {
-      best_wl = m.wl_m;
-      best = std::move(result);
-    }
+  std::vector<SweepSlot> slots(std::size(HiDaPOptions::kLambdaSweep));
+  parallel_for(
+      slots.size(),
+      [&](std::size_t i) {
+        const Timer task_timer;
+        HiDaPOptions opts = options.hidap;
+        opts.lambda = HiDaPOptions::kLambdaSweep[i];
+        opts.seed = options.seed;
+        slots[i].result = place_macros(design, context, opts);
+        slots[i].metrics = evaluate_placement(design, context.ht, context.seq,
+                                              slots[i].result, options.eval);
+        slots[i].seconds = task_timer.seconds();
+      },
+      effective_thread_count(options.hidap.num_threads));
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    HIDAP_LOG_INFO("HiDaP lambda=%.1f: WL=%.3f m", HiDaPOptions::kLambdaSweep[i],
+                   slots[i].metrics.wl_m);
   }
-  best.runtime_seconds = timer.seconds();
-  best.flow_name = "HiDaP";
-  return best;
+  return take_best(slots, "HiDaP");
 }
 
 PlacementResult run_handfp_flow(const Design& design, const PlacementContext& context,
                                 const FlowOptions& options) {
-  Timer timer;
-  PlacementResult best;
-  double best_wl = std::numeric_limits<double>::max();
-  for (int s = 0; s < options.handfp_seeds; ++s) {
-    for (const double lambda : HiDaPOptions::kLambdaSweep) {
-      HiDaPOptions opts = options.hidap;
-      opts.lambda = lambda;
-      // Seed 0 re-runs the tool's own configuration at expert effort (the
-      // engineer starts from the tool output); later seeds explore.
-      opts.seed = s == 0 ? options.seed
-                         : options.seed * 7919 + static_cast<std::uint64_t>(s) * 104729 + 13;
-      opts.scale_effort(options.handfp_effort);
-      PlacementResult result = place_macros(design, context, opts);
-      const Metrics m =
-          evaluate_placement(design, context.ht, context.seq, result, options.eval);
-      if (m.wl_m < best_wl) {
-        best_wl = m.wl_m;
-        best = std::move(result);
-      }
-    }
-  }
-  best.runtime_seconds = timer.seconds();
-  best.flow_name = "handFP";
-  return best;
+  constexpr std::size_t kLambdas = std::size(HiDaPOptions::kLambdaSweep);
+  std::vector<SweepSlot> slots(static_cast<std::size_t>(options.handfp_seeds) * kLambdas);
+  parallel_for(
+      slots.size(),
+      [&](std::size_t t) {
+        const Timer task_timer;
+        const int s = static_cast<int>(t / kLambdas);
+        HiDaPOptions opts = options.hidap;
+        opts.lambda = HiDaPOptions::kLambdaSweep[t % kLambdas];
+        // Seed 0 re-runs the tool's own configuration at expert effort (the
+        // engineer starts from the tool output); later seeds explore.
+        opts.seed = s == 0 ? options.seed
+                           : options.seed * 7919 + static_cast<std::uint64_t>(s) * 104729 + 13;
+        opts.scale_effort(options.handfp_effort);
+        slots[t].result = place_macros(design, context, opts);
+        slots[t].metrics = evaluate_placement(design, context.ht, context.seq,
+                                              slots[t].result, options.eval);
+        slots[t].seconds = task_timer.seconds();
+      },
+      effective_thread_count(options.hidap.num_threads));
+  return take_best(slots, "handFP");
 }
 
 FlowComparison compare_flows(const Design& design, const FlowOptions& options) {
   const PlacementContext context(design, options.hidap.seq);
   FlowComparison cmp;
 
-  const PlacementResult indeda = run_indeda_flow(design, context, options);
-  cmp.indeda = evaluate_placement(design, context.ht, context.seq, indeda, options.eval);
-
-  const PlacementResult hidap = run_hidap_flow(design, context, options);
-  cmp.hidap = evaluate_placement(design, context.ht, context.seq, hidap, options.eval);
-
-  const PlacementResult handfp = run_handfp_flow(design, context, options);
-  cmp.handfp = evaluate_placement(design, context.ht, context.seq, handfp, options.eval);
+  // The three flows only read the shared design/context; each task fills
+  // its own Metrics member. Inner sweeps nest on the same pool.
+  const auto run_into = [&](Metrics& out,
+                            PlacementResult (*flow)(const Design&, const PlacementContext&,
+                                                    const FlowOptions&)) {
+    return [&out, &design, &context, &options, flow]() {
+      const PlacementResult result = flow(design, context, options);
+      out = evaluate_placement(design, context.ht, context.seq, result, options.eval);
+    };
+  };
+  parallel_invoke({run_into(cmp.indeda, run_indeda_flow),
+                   run_into(cmp.hidap, run_hidap_flow),
+                   run_into(cmp.handfp, run_handfp_flow)},
+                  effective_thread_count(options.hidap.num_threads));
 
   const double ref = cmp.handfp.wl_m > 0 ? cmp.handfp.wl_m : 1.0;
   cmp.indeda.wl_norm = cmp.indeda.wl_m / ref;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "runtime/thread_pool.hpp"
 #include "util/log.hpp"
 
 namespace hidap {
@@ -67,6 +69,37 @@ AnnealStats anneal(double initial_cost, const AnnealOptions& options,
                   stats.moves_accepted, stats.moves_attempted, stats.temperature_steps,
                   stats.initial_cost, stats.best_cost);
   return stats;
+}
+
+AnnealStats anneal_multichain(
+    const AnnealOptions& options,
+    const std::function<AnnealChain(int chain, std::uint64_t seed)>& make_chain,
+    int* best_chain, int max_threads) {
+  const int chains = std::max(1, options.chains);
+  std::vector<AnnealStats> stats(static_cast<std::size_t>(chains));
+  parallel_for(
+      static_cast<std::size_t>(chains),
+      [&](std::size_t c) {
+        // Chain 0 keeps the root seed so chains=1 matches anneal() exactly.
+        const std::uint64_t seed =
+            c == 0 ? options.seed : derive_task_seed(options.seed, c);
+        AnnealChain chain = make_chain(static_cast<int>(c), seed);
+        AnnealOptions chain_options = options;
+        chain_options.seed = seed;
+        stats[c] = anneal(chain.initial_cost, chain_options, chain.hooks);
+      },
+      max_threads);
+
+  std::size_t winner = 0;
+  for (std::size_t c = 1; c < stats.size(); ++c) {
+    if (stats[c].best_cost < stats[winner].best_cost) winner = c;
+  }
+  if (chains > 1) {
+    HIDAP_LOG_DEBUG("anneal_multichain: chain %zu/%d wins at cost %.4g", winner, chains,
+                    stats[winner].best_cost);
+  }
+  if (best_chain) *best_chain = static_cast<int>(winner);
+  return stats[winner];
 }
 
 }  // namespace hidap

@@ -21,6 +21,11 @@ struct AnnealOptions {
   double frozen_temperature_ratio = 1e-4;  ///< stop when T < ratio * T0
   int max_stagnant_temperatures = 8;       ///< stop after this many tempertures without improvement
   std::uint64_t seed = 1;
+
+  /// Independent restart chains (anneal_multichain); the best chain's
+  /// result is kept. 1 = the classical single schedule; > 1 runs the
+  /// chains in parallel on the global thread pool.
+  int chains = 1;
 };
 
 struct AnnealHooks {
@@ -45,5 +50,27 @@ struct AnnealStats {
 /// Runs the schedule; `initial_cost` is the cost of the starting state.
 AnnealStats anneal(double initial_cost, const AnnealOptions& options,
                    const AnnealHooks& hooks);
+
+/// One chain of a multi-chain run: hooks bound to chain-local state plus
+/// the cost of that chain's starting solution.
+struct AnnealChain {
+  double initial_cost = 0.0;
+  AnnealHooks hooks;
+};
+
+/// Multi-chain annealing: options.chains independent schedules, run in
+/// parallel on the global thread pool (max_threads caps the lanes,
+/// 1 = sequential). make_chain(c, seed) is called once per chain -- from
+/// pool threads when parallel, so it must only touch chain-local state --
+/// and chain c anneals with AnnealOptions.seed = seed, where seed is
+/// derive_task_seed(options.seed, c) for c > 0 and options.seed itself
+/// for chain 0. The chain with the lowest best_cost wins, ties broken
+/// toward the lowest chain index, so the winner is independent of thread
+/// count. With options.chains <= 1 this is exactly anneal() on
+/// make_chain(0, options.seed).
+AnnealStats anneal_multichain(
+    const AnnealOptions& options,
+    const std::function<AnnealChain(int chain, std::uint64_t seed)>& make_chain,
+    int* best_chain = nullptr, int max_threads = 0);
 
 }  // namespace hidap

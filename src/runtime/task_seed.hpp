@@ -1,0 +1,25 @@
+#pragma once
+// Deterministic per-task seed derivation for the parallel runtime.
+//
+// Every parallel construct in hidap identifies its tasks by a stable
+// index (lambda position in a sweep, circuit position in the suite,
+// chain number in multi-chain SA). Deriving each task's RNG seed from
+// the root seed and that index -- never from thread ids, scheduling
+// order or a shared generator -- is what makes parallel runs
+// bit-identical to sequential ones at any thread count.
+
+#include <cstdint>
+
+namespace hidap {
+
+/// Splitmix64-style mix of a root seed and a stable task index. Matches
+/// the finalizer used by Rng::reseed, so consecutive indices yield
+/// statistically independent generators.
+inline std::uint64_t derive_task_seed(std::uint64_t root_seed, std::uint64_t task_index) {
+  std::uint64_t z = root_seed + 0x9e3779b97f4a7c15ULL * (task_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace hidap

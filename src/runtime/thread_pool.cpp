@@ -1,0 +1,166 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+
+namespace hidap {
+
+namespace {
+std::atomic<int> g_default_override{0};
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  size_ = num_threads > 0 ? num_threads : default_thread_count();
+  workers_.reserve(static_cast<std::size_t>(size_ - 1));
+  try {
+    for (int t = 1; t < size_; ++t) workers_.emplace_back([this] { worker_loop(); });
+  } catch (...) {
+    // Thread spawn failed (resource exhaustion): join the workers that
+    // did start before rethrowing, or ~vector<std::thread> would
+    // std::terminate on the joinable ones.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    ready_.notify_all();
+    for (std::thread& w : workers_) w.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+// Shared state of one parallel_for: a claim counter the caller and the
+// helper tasks race on, a completion count the caller blocks on, and the
+// lowest-index exception. Held by shared_ptr so helper tasks that start
+// after the join has finished (all indices already claimed) stay valid.
+struct ThreadPool::ForState {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::mutex mutex;
+  std::condition_variable all_done;
+  std::size_t completed = 0;
+  std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr first_error;
+
+  // Claims and runs indices until none remain. Every index completes
+  // even if some throw; the lowest throwing index's exception is kept.
+  void run_lane() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      std::exception_ptr error;
+      try {
+        (*body)(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      if (error && i < first_error_index) {
+        first_error_index = i;
+        first_error = error;
+      }
+      if (++completed == n) all_done.notify_all();
+    }
+  }
+};
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                              int max_threads) {
+  if (n == 0) return;
+  int lanes = max_threads > 0 ? std::min(max_threads, size_) : size_;
+  lanes = static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(lanes), n));
+  if (lanes <= 1 || workers_.empty()) {
+    // Same contract as the threaded path: every index runs, the lowest
+    // throwing index's exception is rethrown after the loop.
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->body = &body;
+  for (int h = 1; h < lanes; ++h) {
+    enqueue([state] { state->run_lane(); });
+  }
+  state->run_lane();
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&] { return state->completed == n; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+void ThreadPool::parallel_invoke(const std::vector<std::function<void()>>& tasks,
+                                 int max_threads) {
+  parallel_for(tasks.size(), [&tasks](std::size_t i) { tasks[i](); }, max_threads);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+int ThreadPool::default_thread_count() {
+  const int override_count = g_default_override.load(std::memory_order_relaxed);
+  if (override_count > 0) return override_count;
+  if (const char* env = std::getenv("HIDAP_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::set_default_thread_count(int num_threads) {
+  g_default_override.store(std::max(0, num_threads), std::memory_order_relaxed);
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  int max_threads) {
+  ThreadPool::global().parallel_for(n, body, max_threads);
+}
+
+void parallel_invoke(const std::vector<std::function<void()>>& tasks, int max_threads) {
+  ThreadPool::global().parallel_invoke(tasks, max_threads);
+}
+
+}  // namespace hidap

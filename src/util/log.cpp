@@ -1,11 +1,17 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdarg>
+#include <mutex>
 
 namespace hidap {
 
 namespace {
-LogLevel g_level = LogLevel::Info;
+std::atomic<LogLevel> g_level{LogLevel::Info};
+
+// Serializes whole lines across pool threads (tag + message + newline
+// would otherwise interleave as three separate stdio calls).
+std::mutex g_mutex;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -18,13 +24,23 @@ const char* level_tag(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, const char* fmt, ...) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
   std::fprintf(stderr, "[hidap %s] ", level_tag(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+void log_progress(const char* fmt, ...) {
+  std::lock_guard<std::mutex> lock(g_mutex);
   va_list args;
   va_start(args, fmt);
   std::vfprintf(stderr, fmt, args);

@@ -17,9 +17,21 @@ void set_log_level(LogLevel level);
 LogLevel log_level();
 
 /// printf-style logging entry point; prefer the HIDAP_LOG_* macros.
+/// Serialized by an internal mutex, so messages from pool tasks never
+/// interleave mid-line.
 void log_message(LogLevel level, const char* fmt, ...)
 #if defined(__GNUC__)
     __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+/// Always-on progress/status channel for the bench suite drivers:
+/// bypasses the level threshold (benches run at Warn), writes one line
+/// to stderr and shares the log mutex, so per-circuit progress from a
+/// parallel suite stays readable next to stdout tables.
+void log_progress(const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 1, 2)))
 #endif
     ;
 
