@@ -6,8 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <numeric>
+#include <span>
 
+#include "baseline/flat_cost.hpp"
 #include "core/dataflow_inference.hpp"
 #include "core/decluster.hpp"
 #include "core/layout_optimizer.hpp"
@@ -15,6 +18,7 @@
 #include "dataflow/seq_extract.hpp"
 #include "floorplan/area_floorplanner.hpp"
 #include "floorplan/budget_layout.hpp"
+#include "floorplan/incremental_eval.hpp"
 #include "gen/suite.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/log.hpp"
@@ -129,30 +133,172 @@ void BM_DataflowInference(benchmark::State& state) {
 }
 BENCHMARK(BM_DataflowInference);
 
-void BM_LayoutAnneal(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
+// Shared setup for the layout SA kernels: n blocks shaped like the ones
+// recursive_floorplan hands to optimize_layout at the default bench
+// scale -- multi-point Pareto shape curves from the bottom-up area
+// floorplanner (not bare rectangles) and a moderately dense inferred
+// affinity. The caller owns the returned matrix.
+struct LayoutBenchProblem {
+  LayoutProblem problem;
+  AffinityMatrix affinity{0};
+};
+
+LayoutBenchProblem make_layout_problem(int n) {
   Rng rng(5);
-  LayoutProblem p;
-  p.region = {0, 0, 400, 400};
-  AffinityMatrix aff(static_cast<std::size_t>(n));
+  LayoutBenchProblem lp;
+  lp.problem.region = {0, 0, 400, 400};
+  lp.affinity = AffinityMatrix(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     BudgetBlock b;
     b.at = rng.next_double(2000, 12000);
     b.am = b.at * 0.7;
+    // A composed macro curve: the rect orientations plus the soft-area
+    // sweep, like pack_shape_curve produces for a cluster.
     b.gamma = ShapeCurve::for_rect(rng.next_double(20, 60), rng.next_double(20, 60));
-    p.blocks.push_back(b);
-    if (i > 0) aff.set(static_cast<std::size_t>(i - 1), static_cast<std::size_t>(i), 1.0);
+    b.gamma.merge(ShapeCurve::soft_area(b.am, 0.4, 2.5, 16));
+    lp.problem.blocks.push_back(b);
+    for (int j = 0; j < i; ++j) {
+      if (j == i - 1 || rng.next_bool(0.25)) {
+        lp.affinity.set(static_cast<std::size_t>(j), static_cast<std::size_t>(i),
+                        rng.next_double(0.05, 1.0));
+      }
+    }
   }
-  p.affinity = &aff;
+  return lp;
+}
+
+void BM_LayoutAnneal(benchmark::State& state) {
+  LayoutBenchProblem lp = make_layout_problem(static_cast<int>(state.range(0)));
+  lp.problem.affinity = &lp.affinity;
   AnnealOptions a;
   a.moves_per_temperature = 50;
   a.cooling = 0.8;
   a.max_stagnant_temperatures = 3;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(optimize_layout(p, a));
+    benchmark::DoNotOptimize(optimize_layout(lp.problem, a));
   }
 }
 BENCHMARK(BM_LayoutAnneal)->Arg(6)->Arg(12)->Unit(benchmark::kMillisecond);
+
+// --- incremental move evaluation -------------------------------------
+
+// The evaluation kernels cost the same stream of proposals: a ring of
+// single-move perturbations around one base expression -- the
+// neighborhood an annealer's cooled phase grinds through while nearly
+// every proposal is rejected (that phase is where the bulk of the
+// schedule's moves go once the walk stops drifting). Move generation is
+// outside both timed regions, so the numbers compare pure move
+// evaluation: full recompute vs the warm incremental engine.
+std::vector<PolishExpression> make_move_ring(int n, Rng& rng, PolishExpression& base) {
+  base = PolishExpression::initial(n);
+  for (int k = 0; k < 50; ++k) base.perturb(rng);  // settle into a random base
+  std::vector<PolishExpression> ring;
+  for (int k = 0; k < 64; ++k) {
+    PolishExpression e = base;
+    for (int tries = 0; tries < 8; ++tries) {
+      if (e.perturb(rng)) break;
+    }
+    ring.push_back(std::move(e));
+  }
+  return ring;
+}
+
+// One SA move costed by full recompute: budget_layout from scratch plus
+// the O(n^2) affinity scan. The reference the incremental engine must
+// beat (and match bit for bit).
+void BM_FullEvaluate(benchmark::State& state) {
+  LayoutBenchProblem lp = make_layout_problem(static_cast<int>(state.range(0)));
+  lp.problem.affinity = &lp.affinity;
+  Rng rng(17);
+  PolishExpression base;
+  const std::vector<PolishExpression> ring =
+      make_move_ring(static_cast<int>(lp.problem.blocks.size()), rng, base);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_layout_full(lp.problem, ring[k]));
+    k = (k + 1) % ring.size();
+  }
+}
+BENCHMARK(BM_FullEvaluate)->Arg(8)->Arg(16)->Arg(32);
+
+// The same proposal stream through IncrementalLayoutEval: only the
+// mutated slicing-tree path recomposes its shape curves (straight out of
+// the compose memo once the neighborhood is warm) and only relocated
+// blocks refresh their connectivity terms.
+void BM_IncrementalEvaluate(benchmark::State& state) {
+  LayoutBenchProblem lp = make_layout_problem(static_cast<int>(state.range(0)));
+  lp.problem.affinity = &lp.affinity;
+  Rng rng(17);
+  PolishExpression base;
+  const std::vector<PolishExpression> ring =
+      make_move_ring(static_cast<int>(lp.problem.blocks.size()), rng, base);
+  IncrementalLayoutEval eval(lp.problem.blocks, lp.problem.region, lp.problem.terminals,
+                             lp.affinity, base);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eval.propose([&](PolishExpression& expr) { expr = ring[k]; }));
+    eval.rollback();
+    k = (k + 1) % ring.size();
+  }
+}
+BENCHMARK(BM_IncrementalEvaluate)->Arg(8)->Arg(16)->Arg(32);
+
+// Flat-SA objective, full recompute per move (position map + all-pairs
+// overlap) vs the per-net / per-pair delta cache.
+const SeqGraph& flat_seq() {
+  static SeqGraph* seq = [] {
+    const CellAdjacency adj(medium_design());
+    return new SeqGraph(extract_seq_graph(medium_design(), adj));
+  }();
+  return *seq;
+}
+
+std::vector<MacroPlacement> flat_initial_state(Rng& rng) {
+  const Design& d = medium_design();
+  const Rect die{0, 0, d.die().w, d.die().h};
+  std::vector<MacroPlacement> macros;
+  for (const CellId cell : d.macros()) {
+    const MacroDef& def = d.macro_def_of(cell);
+    macros.push_back({cell,
+                      Rect{rng.next_double(die.x, die.xmax() * 0.7),
+                           rng.next_double(die.y, die.ymax() * 0.7), def.w, def.h},
+                      Orientation::R0});
+  }
+  return macros;
+}
+
+void BM_FlatFullCost(benchmark::State& state) {
+  const Design& d = medium_design();
+  const Rect die{0, 0, d.die().w, d.die().h};
+  const FlatCostModel model(d, flat_seq(), die, 4.0);
+  Rng rng(29);
+  std::vector<MacroPlacement> macros = flat_initial_state(rng);
+  for (auto _ : state) {
+    const std::size_t i = rng.next_below(macros.size());
+    macros[i].rect.x += rng.next_double(-0.05, 0.05) * die.w;
+    benchmark::DoNotOptimize(model(macros));
+  }
+}
+BENCHMARK(BM_FlatFullCost);
+
+void BM_FlatDeltaCost(benchmark::State& state) {
+  const Design& d = medium_design();
+  const Rect die{0, 0, d.die().w, d.die().h};
+  const FlatCostModel model(d, flat_seq(), die, 4.0);
+  Rng rng(29);
+  std::vector<MacroPlacement> macros = flat_initial_state(rng);
+  IncrementalFlatCost inc(model, macros);
+  for (auto _ : state) {
+    const std::size_t i = rng.next_below(macros.size());
+    macros[i].rect.x += rng.next_double(-0.05, 0.05) * die.w;
+    const std::array<std::size_t, 1> moved{i};
+    benchmark::DoNotOptimize(
+        inc.propose(macros, std::span<const std::size_t>(moved.data(), 1)));
+    inc.commit();
+  }
+}
+BENCHMARK(BM_FlatDeltaCost);
 
 // --- parallel runtime ------------------------------------------------
 

@@ -37,6 +37,7 @@ struct Args {
   std::uint64_t seed = 1;
   int cells = 20000, macros = 24;
   int threads = 0, chains = 1;
+  bool incremental = true;
 };
 
 [[noreturn]] void usage() {
@@ -50,7 +51,9 @@ struct Args {
                "  --threads N  worker lanes for sweeps/flows/multi-chain SA\n"
                "               (default: HIDAP_THREADS or hardware concurrency;\n"
                "               results are identical at any N, 1 = sequential)\n"
-               "  --chains C   independent SA chains per layout, best kept\n");
+               "  --chains C   independent SA chains per layout, best kept\n"
+               "  --no-incremental  full-recompute SA move evaluation (the\n"
+               "               reference oracle; results are identical, only slower)\n");
   std::exit(2);
 }
 
@@ -79,6 +82,7 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--macros") args.macros = std::atoi(next().c_str());
     else if (flag == "--threads") args.threads = std::atoi(next().c_str());
     else if (flag == "--chains") args.chains = std::atoi(next().c_str());
+    else if (flag == "--no-incremental") args.incremental = false;
     else usage();
   }
   return args;
@@ -94,6 +98,7 @@ int cmd_place(const Args& args) {
   options.seed = args.seed;
   options.num_threads = args.threads;
   options.layout_anneal.chains = std::max(1, args.chains);
+  options.layout_anneal.incremental = args.incremental;
   options.scale_effort(args.effort);
   if (!args.fix.empty()) {
     const DefContents fixed = parse_def_file(args.fix);
@@ -139,6 +144,7 @@ int cmd_flows(const Args& args) {
   options.seed = args.seed;
   options.hidap.num_threads = args.threads;
   options.hidap.layout_anneal.chains = std::max(1, args.chains);
+  options.hidap.layout_anneal.incremental = args.incremental;
   const FlowComparison cmp = compare_flows(design, options);
   ReportTable table({"flow", "WL(m)", "norm", "GRC%", "WNS%", "TNS(ns)", "time(s)"});
   for (const Metrics* m : {&cmp.indeda, &cmp.hidap, &cmp.handfp}) {

@@ -1,100 +1,22 @@
 #include "baseline/flat_sa.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <optional>
-#include <unordered_map>
 
+#include "baseline/flat_cost.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace hidap {
-
-namespace {
-
-struct State {
-  std::vector<MacroPlacement> macros;
-};
-
-class FlatCost {
- public:
-  FlatCost(const Design& design, const SeqGraph& seq, const Rect& die,
-           double overlap_weight)
-      : design_(design), die_(die), overlap_weight_(overlap_weight) {
-    // Edges between macros / macro and port, precomputed.
-    for (const SeqEdge& e : seq.edges()) {
-      const SeqNode& a = seq.node(e.from);
-      const SeqNode& b = seq.node(e.to);
-      if (a.kind == SeqKind::Macro && b.kind == SeqKind::Macro) {
-        macro_edges_.push_back({a.macro_cell, b.macro_cell, double(e.bits)});
-      } else if (a.kind == SeqKind::Macro && b.kind == SeqKind::Port) {
-        if (const auto p = port_pos(b)) port_edges_.push_back({a.macro_cell, *p, double(e.bits)});
-      } else if (a.kind == SeqKind::Port && b.kind == SeqKind::Macro) {
-        if (const auto p = port_pos(a)) port_edges_.push_back({b.macro_cell, *p, double(e.bits)});
-      }
-    }
-  }
-
-  double operator()(const State& s) const {
-    std::unordered_map<CellId, Point> pos;
-    for (const MacroPlacement& m : s.macros) pos[m.cell] = m.rect.center();
-    double wl = 0.0;
-    for (const auto& [a, b, w] : macro_edges_) {
-      wl += w * manhattan(pos.at(a), pos.at(b));
-    }
-    for (const auto& [a, p, w] : port_edges_) wl += w * manhattan(pos.at(a), p);
-    double overlap = 0.0;
-    for (std::size_t i = 0; i < s.macros.size(); ++i) {
-      for (std::size_t j = i + 1; j < s.macros.size(); ++j) {
-        overlap += s.macros[i].rect.overlap_area(s.macros[j].rect);
-      }
-      // Out-of-die is treated as overlap with the outside.
-      const Rect& r = s.macros[i].rect;
-      const double inside = r.overlap_area(die_);
-      overlap += r.area() - inside;
-    }
-    return wl + overlap_weight_ * overlap;
-  }
-
- private:
-  std::optional<Point> port_pos(const SeqNode& node) const {
-    Point p{};
-    int counted = 0;
-    for (const CellId bit : node.bits) {
-      if (design_.cell(bit).fixed_pos) {
-        p.x += design_.cell(bit).fixed_pos->x;
-        p.y += design_.cell(bit).fixed_pos->y;
-        ++counted;
-      }
-    }
-    if (counted == 0) return std::nullopt;
-    return Point{p.x / counted, p.y / counted};
-  }
-
-  struct MacroEdge {
-    CellId a, b;
-    double w;
-  };
-  struct PortEdge {
-    CellId a;
-    Point p;
-    double w;
-  };
-  const Design& design_;
-  Rect die_;
-  double overlap_weight_;
-  std::vector<MacroEdge> macro_edges_;
-  std::vector<PortEdge> port_edges_;
-};
-
-}  // namespace
 
 PlacementResult place_macros_flat_sa(const Design& design, const SeqGraph& seq,
                                      const FlatSaOptions& options) {
   Timer timer;
   const Rect die{0, 0, design.die().w, design.die().h};
 
-  State state;
+  std::vector<MacroPlacement> state;
   {
     // Initial grid.
     const std::vector<CellId> macros = design.macros();
@@ -103,60 +25,103 @@ PlacementResult place_macros_flat_sa(const Design& design, const SeqGraph& seq,
       const MacroDef& def = design.macro_def_of(macros[i]);
       const int c = static_cast<int>(i) % cols;
       const int r = static_cast<int>(i) / cols;
-      state.macros.push_back({macros[i],
-                              Rect{die.x + die.w * (c + 0.15) / cols,
-                                   die.y + die.h * (r + 0.15) / cols, def.w, def.h},
-                              Orientation::R0});
+      state.push_back({macros[i],
+                       Rect{die.x + die.w * (c + 0.15) / cols,
+                            die.y + die.h * (r + 0.15) / cols, def.w, def.h},
+                       Orientation::R0});
     }
   }
 
-  FlatCost cost(design, seq, die, options.overlap_weight);
-  State backup = state, best = state;
+  const FlatCostModel cost(design, seq, die, options.overlap_weight);
+  std::vector<MacroPlacement> best = state;
   const double initial = cost(state);
 
   Rng rng(options.anneal.seed ^ 0xe7037ed1a0b428dbULL);
-  AnnealHooks hooks;
-  hooks.propose = [&]() {
-    backup = state;
-    const std::size_t i = rng.next_below(state.macros.size());
+
+  // One random move, shared by both evaluation modes so they consume the
+  // identical RNG stream. `save` is called with each macro index about to
+  // be mutated, before the mutation; returns the moved indices.
+  const auto propose_move = [&rng, &die](std::vector<MacroPlacement>& s, auto&& save,
+                                         std::array<std::size_t, 2>& moved) -> std::size_t {
+    const std::size_t i = rng.next_below(s.size());
     const int kind = rng.next_int(0, 2);
-    if (kind == 0 && state.macros.size() >= 2) {
+    if (kind == 0 && s.size() >= 2) {
       // Swap centers of two macros.
-      const std::size_t j = rng.next_below(state.macros.size());
-      const Point ci = state.macros[i].rect.center();
-      const Point cj = state.macros[j].rect.center();
+      const std::size_t j = rng.next_below(s.size());
+      save(i);
+      if (j != i) save(j);
+      const Point ci = s[i].rect.center();
+      const Point cj = s[j].rect.center();
       auto recenter = [](MacroPlacement& m, const Point& c) {
         m.rect.x = c.x - m.rect.w / 2;
         m.rect.y = c.y - m.rect.h / 2;
       };
-      recenter(state.macros[i], cj);
-      recenter(state.macros[j], ci);
-    } else if (kind == 1) {
+      recenter(s[i], cj);
+      recenter(s[j], ci);
+      moved = {i, j};
+      return j == i ? 1 : 2;
+    }
+    save(i);
+    if (kind == 1) {
       // Random displacement (up to 20% of the die).
-      state.macros[i].rect.x += rng.next_double(-0.2, 0.2) * die.w;
-      state.macros[i].rect.y += rng.next_double(-0.2, 0.2) * die.h;
-      state.macros[i].rect.x = std::clamp(state.macros[i].rect.x, die.x,
-                                          std::max(die.x, die.xmax() - state.macros[i].rect.w));
-      state.macros[i].rect.y = std::clamp(state.macros[i].rect.y, die.y,
-                                          std::max(die.y, die.ymax() - state.macros[i].rect.h));
+      s[i].rect.x += rng.next_double(-0.2, 0.2) * die.w;
+      s[i].rect.y += rng.next_double(-0.2, 0.2) * die.h;
+      s[i].rect.x = std::clamp(s[i].rect.x, die.x,
+                               std::max(die.x, die.xmax() - s[i].rect.w));
+      s[i].rect.y = std::clamp(s[i].rect.y, die.y,
+                               std::max(die.y, die.ymax() - s[i].rect.h));
     } else {
       // Rotate 90 degrees in place.
-      MacroPlacement& m = state.macros[i];
+      MacroPlacement& m = s[i];
       const Point c = m.rect.center();
       std::swap(m.rect.w, m.rect.h);
       m.rect.x = c.x - m.rect.w / 2;
       m.rect.y = c.y - m.rect.h / 2;
       m.orientation = swaps_dimensions(m.orientation) ? Orientation::R0 : Orientation::R90;
     }
-    return cost(state);
+    moved = {i, i};
+    return 1;
   };
-  hooks.reject = [&]() { state = backup; };
+
+  AnnealHooks hooks;
+  std::optional<IncrementalFlatCost> inc;
+  std::vector<MacroPlacement> backup;  // full-recompute mode only
+  struct UndoEntry {
+    std::size_t idx = 0;
+    MacroPlacement m;
+  };
+  std::array<UndoEntry, 2> undo;  // incremental mode only
+  std::size_t undo_count = 0;
+
+  if (options.anneal.incremental) {
+    inc.emplace(cost, state);
+    hooks.propose = [&]() {
+      undo_count = 0;
+      std::array<std::size_t, 2> moved{};
+      const std::size_t count = propose_move(
+          state, [&](std::size_t k) { undo[undo_count++] = {k, state[k]}; }, moved);
+      return inc->propose(state, std::span<const std::size_t>(moved.data(), count));
+    };
+    hooks.commit = [&]() { inc->commit(); };
+    hooks.reject = [&]() {
+      for (std::size_t u = undo_count; u-- > 0;) state[undo[u].idx] = undo[u].m;
+      inc->rollback();
+    };
+  } else {
+    hooks.propose = [&]() {
+      backup = state;
+      std::array<std::size_t, 2> moved{};
+      propose_move(state, [](std::size_t) {}, moved);
+      return cost(state);
+    };
+    hooks.reject = [&]() { state = backup; };
+  }
   hooks.on_new_best = [&](double) { best = state; };
 
   anneal(initial, options.anneal, hooks);
 
   PlacementResult result;
-  result.macros = best.macros;
+  result.macros = std::move(best);
   result.runtime_seconds = timer.seconds();
   result.flow_name = "FlatSA";
   HIDAP_LOG_INFO("FlatSA placed %zu macros in %.2fs", result.macros.size(),

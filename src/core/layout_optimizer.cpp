@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
 #include "floorplan/annealer.hpp"
+#include "floorplan/incremental_eval.hpp"
 #include "util/log.hpp"
 
 namespace hidap {
@@ -32,21 +34,14 @@ double layout_connectivity_cost(const LayoutProblem& problem,
   return cost;
 }
 
-namespace {
-
-double evaluate(const LayoutProblem& problem, const PolishExpression& expr,
-                BudgetResult* out_result) {
+double evaluate_layout_full(const LayoutProblem& problem, const PolishExpression& expr,
+                            BudgetResult* out_result) {
   BudgetResult res = budget_layout(expr, problem.blocks, problem.region);
-  const double penalty = budget_penalty(res.violations, problem.region.area());
   const double conn = layout_connectivity_cost(problem, res.leaf_rects);
-  // A small base keeps the penalty gradient alive when connectivity is
-  // zero (degenerate affinity), so SA still repairs infeasible layouts.
-  const double base = 0.01 * (problem.region.w + problem.region.h);
+  const double cost = layout_objective(res.violations, conn, problem.region);
   if (out_result) *out_result = std::move(res);
-  return penalty * (conn + base);
+  return cost;
 }
-
-}  // namespace
 
 LayoutSolution optimize_layout(const LayoutProblem& problem,
                                const AnnealOptions& anneal_options) {
@@ -59,7 +54,7 @@ LayoutSolution optimize_layout(const LayoutProblem& problem,
   if (n == 1) {
     solution.expression = current;
     BudgetResult res;
-    solution.cost = evaluate(problem, current, &res);
+    solution.cost = evaluate_layout_full(problem, current, &res);
     solution.rects = std::move(res.leaf_rects);
     solution.violations = res.violations;
     return solution;
@@ -70,29 +65,52 @@ LayoutSolution optimize_layout(const LayoutProblem& problem,
       std::max(opts.moves_per_temperature, static_cast<int>(n) * 12);
 
   // Chain-local SA state; chain c only ever touches states[c], so the
-  // chains can run on pool threads without synchronization.
+  // chains can run on pool threads without synchronization. Both
+  // evaluation modes draw the identical RNG stream (the same perturb
+  // retry loop) and produce bit-identical costs, so they accept and
+  // reject the same moves and land on the same expression.
   struct ChainState {
     PolishExpression current, backup, best;
+    std::unique_ptr<IncrementalLayoutEval> inc;
     Rng rng{0};
   };
   std::vector<ChainState> states(static_cast<std::size_t>(std::max(1, opts.chains)));
-  const auto make_chain = [&problem, &states, n](int c, std::uint64_t seed) {
+  const auto perturb_retry = [](PolishExpression& expr, Rng& rng) {
+    for (int tries = 0; tries < 8; ++tries) {
+      if (expr.perturb(rng)) break;
+    }
+  };
+  const auto make_chain = [&problem, &states, n, perturb_retry,
+                           incremental = opts.incremental](int c, std::uint64_t seed) {
     ChainState& st = states[static_cast<std::size_t>(c)];
-    st.current = PolishExpression::initial(static_cast<int>(n));
-    st.backup = st.current;
-    st.best = st.current;
     st.rng.reseed(seed ^ 0x7fb5d329728ea185ULL);
     AnnealChain chain;
-    chain.initial_cost = evaluate(problem, st.current, nullptr);
-    chain.hooks.propose = [&problem, &st]() {
+    if (incremental) {
+      st.inc = std::make_unique<IncrementalLayoutEval>(
+          problem.blocks, problem.region, problem.terminals, *problem.affinity,
+          PolishExpression::initial(static_cast<int>(n)));
+      st.best = st.inc->expression();
+      chain.initial_cost = st.inc->cost();
+      chain.hooks.propose = [&st, perturb_retry]() {
+        return st.inc->propose(
+            [&st, perturb_retry](PolishExpression& expr) { perturb_retry(expr, st.rng); });
+      };
+      chain.hooks.commit = [&st]() { st.inc->commit(); };
+      chain.hooks.reject = [&st]() { st.inc->rollback(); };
+      chain.hooks.on_new_best = [&st](double) { st.best = st.inc->expression(); };
+    } else {
+      st.current = PolishExpression::initial(static_cast<int>(n));
       st.backup = st.current;
-      for (int tries = 0; tries < 8; ++tries) {
-        if (st.current.perturb(st.rng)) break;
-      }
-      return evaluate(problem, st.current, nullptr);
-    };
-    chain.hooks.reject = [&st]() { st.current = st.backup; };
-    chain.hooks.on_new_best = [&st](double) { st.best = st.current; };
+      st.best = st.current;
+      chain.initial_cost = evaluate_layout_full(problem, st.current, nullptr);
+      chain.hooks.propose = [&problem, &st, perturb_retry]() {
+        st.backup = st.current;
+        perturb_retry(st.current, st.rng);
+        return evaluate_layout_full(problem, st.current, nullptr);
+      };
+      chain.hooks.reject = [&st]() { st.current = st.backup; };
+      chain.hooks.on_new_best = [&st](double) { st.best = st.current; };
+    }
     return chain;
   };
 
@@ -101,7 +119,7 @@ LayoutSolution optimize_layout(const LayoutProblem& problem,
   PolishExpression& best = states[static_cast<std::size_t>(winner)].best;
 
   BudgetResult res;
-  solution.cost = evaluate(problem, best, &res);
+  solution.cost = evaluate_layout_full(problem, best, &res);
   solution.expression = std::move(best);
   solution.rects = std::move(res.leaf_rects);
   solution.violations = res.violations;

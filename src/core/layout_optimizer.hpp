@@ -35,6 +35,14 @@ struct LayoutSolution {
 double layout_connectivity_cost(const LayoutProblem& problem,
                                 const std::vector<Rect>& rects);
 
+/// Full-recompute SA objective of one candidate expression: budget layout
+/// plus graded penalty times connectivity. This is the reference oracle
+/// for IncrementalLayoutEval, which reproduces it bit for bit; the
+/// differential suite (tests/test_incremental_eval.cpp) compares the two
+/// on every move.
+double evaluate_layout_full(const LayoutProblem& problem, const PolishExpression& expr,
+                            BudgetResult* out_result = nullptr);
+
 LayoutSolution optimize_layout(const LayoutProblem& problem,
                                const AnnealOptions& anneal_options);
 

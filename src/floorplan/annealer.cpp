@@ -30,7 +30,8 @@ AnnealStats anneal(double initial_cost, const AnnealOptions& options,
     }
     // Accept everything during calibration (random walk), tracking best.
     current = cost;
-    if (current < stats.best_cost) {
+    if (hooks.commit) hooks.commit();
+    if (anneal_improves_best(current, stats.best_cost)) {
       stats.best_cost = current;
       if (hooks.on_new_best) hooks.on_new_best(current);
     }
@@ -52,7 +53,8 @@ AnnealStats anneal(double initial_cost, const AnnealOptions& options,
       if (accept) {
         ++stats.moves_accepted;
         current = cost;
-        if (current < stats.best_cost - 1e-15) {
+        if (hooks.commit) hooks.commit();
+        if (anneal_improves_best(current, stats.best_cost)) {
           stats.best_cost = current;
           improved = true;
           if (hooks.on_new_best) hooks.on_new_best(current);

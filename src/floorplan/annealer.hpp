@@ -26,16 +26,39 @@ struct AnnealOptions {
   /// result is kept. 1 = the classical single schedule; > 1 runs the
   /// chains in parallel on the global thread pool.
   int chains = 1;
+
+  /// Use the incremental move-evaluation engine where the caller has one
+  /// (optimize_layout, flat SA). Off = full recompute on every proposal,
+  /// the reference oracle. Both modes draw the same RNG stream and
+  /// produce bit-identical costs, so the result is the same either way;
+  /// the switch exists for differential testing and as an escape hatch.
+  bool incremental = true;
 };
+
+/// A proposal must undercut the best cost by at least this margin before
+/// the best snapshot is refreshed; guards the on_new_best hook (which
+/// typically copies the whole solution) against floating-point-noise
+/// churn. Both the calibration walk and the cooling loop apply the same
+/// tolerance.
+inline constexpr double kAnnealBestImprovementEps = 1e-15;
+
+inline bool anneal_improves_best(double cost, double best_cost) {
+  return cost < best_cost - kAnnealBestImprovementEps;
+}
 
 struct AnnealHooks {
   /// Applies a random move and returns the resulting cost. The engine
-  /// will either keep it or call `reject` to undo it.
+  /// then either calls `commit` to keep it or `reject` to undo it.
   std::function<double()> propose;
   /// Undoes the last proposed move.
   std::function<void()> reject;
-  /// Called when a new global best cost is observed (after acceptance).
-  /// Typical use: snapshot the current solution.
+  /// Optional: called when the engine keeps the last proposed move
+  /// (including every calibration move -- the calibration walk accepts
+  /// everything). Incremental evaluators fold the proposal into their
+  /// caches here; callers that mutate state in place can leave it unset.
+  std::function<void()> commit;
+  /// Called when a new global best cost is observed (after acceptance
+  /// and after `commit`). Typical use: snapshot the current solution.
   std::function<void(double)> on_new_best;
 };
 

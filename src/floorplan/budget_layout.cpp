@@ -5,143 +5,120 @@
 
 namespace hidap {
 
+BudgetNodeInfo budget_leaf_info(const BudgetBlock& block) {
+  BudgetNodeInfo info;
+  info.gamma = block.gamma;
+  info.am = block.am;
+  info.at = block.at;
+  return info;
+}
+
+BudgetNodeInfo budget_compose_info(int op, const BudgetNodeInfo& l, const BudgetNodeInfo& r,
+                                   std::size_t curve_points) {
+  BudgetNodeInfo info;
+  info.am = l.am + r.am;
+  info.at = l.at + r.at;
+  if (l.gamma.empty()) {
+    info.gamma = r.gamma;
+  } else if (r.gamma.empty()) {
+    info.gamma = l.gamma;
+  } else {
+    info.gamma = (op == kOpV) ? ShapeCurve::compose_horizontal(l.gamma, r.gamma)
+                              : ShapeCurve::compose_vertical(l.gamma, r.gamma);
+  }
+  info.gamma.prune(curve_points);
+  return info;
+}
+
 namespace {
 
-// Per-slicing-node aggregate computed bottom-up before the top-down pass
-// (the paper's Gamma_n, a^n_m, a^n_t characterization of subtrees).
-struct NodeInfo {
-  ShapeCurve gamma;
-  double am = 0.0;
-  double at = 0.0;
-};
+// Minimal extent a subtree needs along the split axis, given the fixed
+// extent of the other axis. Returns 0 when the subtree has no macros.
+// When its curve cannot fit the cross extent at all, the cheapest
+// (min-area) curve point defines the demand and the overflow is charged
+// as macro deficit later, at the leaves.
+double min_extent(const BudgetNodeInfo& info, double cross, bool along_width) {
+  if (info.gamma.empty()) return 0.0;
+  const auto need = along_width ? info.gamma.min_width_for_height(cross)
+                                : info.gamma.min_height_for_width(cross);
+  if (need) return *need;
+  const auto best = info.gamma.min_area_shape();
+  if (!best) return 0.0;
+  return along_width ? best->w : best->h;
+}
 
-class BudgetRunner {
- public:
-  BudgetRunner(const SlicingTree& tree, const std::vector<BudgetBlock>& blocks,
-               const BudgetOptions& options, BudgetResult& result)
-      : tree_(tree), blocks_(blocks), options_(options), result_(result) {
-    info_.resize(tree.nodes.size());
-  }
-
-  void run(const Rect& budget) {
-    compute_info(tree_.root);
-    assign(tree_.root, budget);
-  }
-
- private:
-  void compute_info(int node_id) {
-    const SlicingTree::Node& node = tree_.nodes[static_cast<std::size_t>(node_id)];
-    NodeInfo& info = info_[static_cast<std::size_t>(node_id)];
-    if (node.is_leaf()) {
-      const BudgetBlock& b = blocks_[static_cast<std::size_t>(node.leaf)];
-      info.gamma = b.gamma;
-      info.am = b.am;
-      info.at = b.at;
-      return;
+// Grades the final rectangle of a leaf block against its <Gamma, am, at>.
+void score_leaf(const BudgetBlock& b, const Rect& rect, BudgetViolations& v) {
+  const double area = rect.area();
+  if (area + 1e-9 < b.at) v.at_deficit += b.at - area;
+  if (area + 1e-9 < b.am) v.am_deficit += b.am - area;
+  if (!b.gamma.empty() && !b.gamma.fits(rect.w, rect.h)) {
+    ++v.infeasible_leaves;
+    // Overflow area of the best attempt: how much macro bounding box
+    // sticks out of the rectangle.
+    double overflow = 0.0;
+    double best_overflow = -1.0;
+    for (const Shape& s : b.gamma.points()) {
+      const double ow = std::max(0.0, s.w - rect.w);
+      const double oh = std::max(0.0, s.h - rect.h);
+      overflow = ow * rect.h + oh * rect.w + ow * oh;
+      if (best_overflow < 0 || overflow < best_overflow) best_overflow = overflow;
     }
-    compute_info(node.left);
-    compute_info(node.right);
-    const NodeInfo& l = info_[static_cast<std::size_t>(node.left)];
-    const NodeInfo& r = info_[static_cast<std::size_t>(node.right)];
-    info.am = l.am + r.am;
-    info.at = l.at + r.at;
-    if (l.gamma.empty()) {
-      info.gamma = r.gamma;
-    } else if (r.gamma.empty()) {
-      info.gamma = l.gamma;
+    v.macro_deficit += std::max(best_overflow, 0.0);
+  }
+}
+
+void assign(const SlicingTree& tree, const BudgetNodeInfo* const* infos,
+            const std::vector<BudgetBlock>& blocks, int node_id, const Rect& rect,
+            BudgetResult& result) {
+  const SlicingTree::Node& node = tree.nodes[static_cast<std::size_t>(node_id)];
+  if (node.is_leaf()) {
+    result.leaf_rects[static_cast<std::size_t>(node.leaf)] = rect;
+    score_leaf(blocks[static_cast<std::size_t>(node.leaf)], rect, result.violations);
+    return;
+  }
+  const BudgetNodeInfo& l = *infos[static_cast<std::size_t>(node.left)];
+  const BudgetNodeInfo& r = *infos[static_cast<std::size_t>(node.right)];
+  const double at_sum = l.at + r.at;
+  const double ratio = at_sum > 0 ? l.at / at_sum : 0.5;
+
+  if (node.op == kOpV) {
+    // Side-by-side: split the width.
+    double wl = rect.w * ratio;
+    const double min_l = min_extent(l, rect.h, /*along_width=*/true);
+    const double min_r = min_extent(r, rect.h, /*along_width=*/true);
+    if (min_l + min_r <= rect.w) {
+      wl = std::clamp(wl, min_l, rect.w - min_r);
     } else {
-      info.gamma = (node.op == kOpV) ? ShapeCurve::compose_horizontal(l.gamma, r.gamma)
-                                     : ShapeCurve::compose_vertical(l.gamma, r.gamma);
+      // Even the minima do not fit; split the shortfall proportionally.
+      wl = rect.w * (min_l / (min_l + min_r));
     }
-    info.gamma.prune(options_.curve_points);
-  }
-
-  // Minimal extent a subtree needs along the split axis, given the fixed
-  // extent of the other axis. Returns 0 when the subtree has no macros.
-  // When its curve cannot fit the cross extent at all, the cheapest
-  // (min-area) curve point defines the demand and the overflow is charged
-  // as macro deficit later, at the leaves.
-  static double min_extent(const NodeInfo& info, double cross, bool along_width) {
-    if (info.gamma.empty()) return 0.0;
-    const auto need = along_width ? info.gamma.min_width_for_height(cross)
-                                  : info.gamma.min_height_for_width(cross);
-    if (need) return *need;
-    const auto best = info.gamma.min_area_shape();
-    if (!best) return 0.0;
-    return along_width ? best->w : best->h;
-  }
-
-  void assign(int node_id, const Rect& rect) {
-    const SlicingTree::Node& node = tree_.nodes[static_cast<std::size_t>(node_id)];
-    if (node.is_leaf()) {
-      result_.leaf_rects[static_cast<std::size_t>(node.leaf)] = rect;
-      score_leaf(node.leaf, rect);
-      return;
-    }
-    const NodeInfo& l = info_[static_cast<std::size_t>(node.left)];
-    const NodeInfo& r = info_[static_cast<std::size_t>(node.right)];
-    const double at_sum = l.at + r.at;
-    const double ratio = at_sum > 0 ? l.at / at_sum : 0.5;
-
-    if (node.op == kOpV) {
-      // Side-by-side: split the width.
-      double wl = rect.w * ratio;
-      const double min_l = min_extent(l, rect.h, /*along_width=*/true);
-      const double min_r = min_extent(r, rect.h, /*along_width=*/true);
-      if (min_l + min_r <= rect.w) {
-        wl = std::clamp(wl, min_l, rect.w - min_r);
-      } else {
-        // Even the minima do not fit; split the shortfall proportionally.
-        wl = rect.w * (min_l / (min_l + min_r));
-      }
-      assign(node.left, Rect{rect.x, rect.y, wl, rect.h});
-      assign(node.right, Rect{rect.x + wl, rect.y, rect.w - wl, rect.h});
+    assign(tree, infos, blocks, node.left, Rect{rect.x, rect.y, wl, rect.h}, result);
+    assign(tree, infos, blocks, node.right, Rect{rect.x + wl, rect.y, rect.w - wl, rect.h},
+           result);
+  } else {
+    // Stacked: split the height.
+    double hl = rect.h * ratio;
+    const double min_l = min_extent(l, rect.w, /*along_width=*/false);
+    const double min_r = min_extent(r, rect.w, /*along_width=*/false);
+    if (min_l + min_r <= rect.h) {
+      hl = std::clamp(hl, min_l, rect.h - min_r);
     } else {
-      // Stacked: split the height.
-      double hl = rect.h * ratio;
-      const double min_l = min_extent(l, rect.w, /*along_width=*/false);
-      const double min_r = min_extent(r, rect.w, /*along_width=*/false);
-      if (min_l + min_r <= rect.h) {
-        hl = std::clamp(hl, min_l, rect.h - min_r);
-      } else {
-        hl = rect.h * (min_l / (min_l + min_r));
-      }
-      assign(node.left, Rect{rect.x, rect.y, rect.w, hl});
-      assign(node.right, Rect{rect.x, rect.y + hl, rect.w, rect.h - hl});
+      hl = rect.h * (min_l / (min_l + min_r));
     }
+    assign(tree, infos, blocks, node.left, Rect{rect.x, rect.y, rect.w, hl}, result);
+    assign(tree, infos, blocks, node.right, Rect{rect.x, rect.y + hl, rect.w, rect.h - hl},
+           result);
   }
-
-  // Grades the final rectangle of a leaf block against its <Gamma, am, at>.
-  void score_leaf(int leaf, const Rect& rect) {
-    const BudgetBlock& b = blocks_[static_cast<std::size_t>(leaf)];
-    BudgetViolations& v = result_.violations;
-    const double area = rect.area();
-    if (area + 1e-9 < b.at) v.at_deficit += b.at - area;
-    if (area + 1e-9 < b.am) v.am_deficit += b.am - area;
-    if (!b.gamma.empty() && !b.gamma.fits(rect.w, rect.h)) {
-      ++v.infeasible_leaves;
-      // Overflow area of the best attempt: how much macro bounding box
-      // sticks out of the rectangle.
-      double overflow = 0.0;
-      double best_overflow = -1.0;
-      for (const Shape& s : b.gamma.points()) {
-        const double ow = std::max(0.0, s.w - rect.w);
-        const double oh = std::max(0.0, s.h - rect.h);
-        overflow = ow * rect.h + oh * rect.w + ow * oh;
-        if (best_overflow < 0 || overflow < best_overflow) best_overflow = overflow;
-      }
-      v.macro_deficit += std::max(best_overflow, 0.0);
-    }
-  }
-
-  const SlicingTree& tree_;
-  const std::vector<BudgetBlock>& blocks_;
-  const BudgetOptions& options_;
-  BudgetResult& result_;
-  std::vector<NodeInfo> info_;
-};
+}
 
 }  // namespace
+
+void budget_assign(const SlicingTree& tree, const BudgetNodeInfo* const* infos,
+                   const std::vector<BudgetBlock>& blocks, const Rect& budget,
+                   BudgetResult& result) {
+  assign(tree, infos, blocks, tree.root, budget, result);
+}
 
 BudgetResult budget_layout(const PolishExpression& expr,
                            const std::vector<BudgetBlock>& blocks, const Rect& budget,
@@ -150,8 +127,23 @@ BudgetResult budget_layout(const PolishExpression& expr,
   BudgetResult result;
   result.leaf_rects.assign(blocks.size(), Rect{});
   const SlicingTree tree = SlicingTree::from_polish(expr);
-  BudgetRunner runner(tree, blocks, options, result);
-  runner.run(budget);
+
+  // Bottom-up characterization. from_polish() appends nodes in postfix
+  // order, so children always precede their parent and index order is a
+  // valid evaluation order.
+  std::vector<BudgetNodeInfo> info(tree.nodes.size());
+  std::vector<const BudgetNodeInfo*> ptrs(tree.nodes.size());
+  for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+    const SlicingTree::Node& node = tree.nodes[i];
+    info[i] = node.is_leaf()
+                  ? budget_leaf_info(blocks[static_cast<std::size_t>(node.leaf)])
+                  : budget_compose_info(node.op, info[static_cast<std::size_t>(node.left)],
+                                        info[static_cast<std::size_t>(node.right)],
+                                        options.curve_points);
+    ptrs[i] = &info[i];
+  }
+
+  budget_assign(tree, ptrs.data(), blocks, budget, result);
   return result;
 }
 

@@ -47,6 +47,35 @@ struct BudgetOptions {
   std::size_t curve_points = 24;  ///< pruning cap for composed curves
 };
 
+/// Per-slicing-node aggregate computed bottom-up before the top-down pass
+/// (the paper's Gamma_n, a^n_m, a^n_t characterization of subtrees).
+///
+/// Exposed so IncrementalLayoutEval can cache per-node infos across SA
+/// moves; a node's info is a pure function of its subtree, so a cached
+/// value is bit-identical to what a full recompute would produce.
+struct BudgetNodeInfo {
+  ShapeCurve gamma;
+  double am = 0.0;
+  double at = 0.0;
+};
+
+/// Info of a leaf node (no curve pruning; mirrors the full recompute).
+BudgetNodeInfo budget_leaf_info(const BudgetBlock& block);
+
+/// Info of an internal node with operator `op` from its children's infos.
+BudgetNodeInfo budget_compose_info(int op, const BudgetNodeInfo& l, const BudgetNodeInfo& r,
+                                   std::size_t curve_points);
+
+/// Top-down assignment pass: splits `budget` down the slicing tree using
+/// the precomputed per-node infos (`infos[i]` describes `tree.nodes[i]`),
+/// writing leaf rectangles and graded violations into `result` (which
+/// must have `leaf_rects` pre-sized to the block count). This is the
+/// second half of budget_layout(), shared with the incremental engine so
+/// both produce bit-identical rects and violation totals.
+void budget_assign(const SlicingTree& tree, const BudgetNodeInfo* const* infos,
+                   const std::vector<BudgetBlock>& blocks, const Rect& budget,
+                   BudgetResult& result);
+
 /// Lays out `blocks` (operand id -> block) inside `budget` according to
 /// the slicing structure of `expr`.
 BudgetResult budget_layout(const PolishExpression& expr,
@@ -57,5 +86,18 @@ BudgetResult budget_layout(const PolishExpression& expr,
 /// layout, growing with graded severity. `scale_area` normalizes deficits
 /// (usually the budget area).
 double budget_penalty(const BudgetViolations& v, double scale_area);
+
+/// The layout SA objective combiner: graded penalty times connectivity
+/// cost. Shared (inline, single definition) by the full-recompute oracle
+/// (evaluate_layout_full) and IncrementalLayoutEval so both compute
+/// bit-identical costs. A small base keeps the penalty gradient alive
+/// when connectivity is zero (degenerate affinity), so SA still repairs
+/// infeasible layouts.
+inline double layout_objective(const BudgetViolations& violations, double connectivity,
+                               const Rect& region) {
+  const double penalty = budget_penalty(violations, region.area());
+  const double base = 0.01 * (region.w + region.h);
+  return penalty * (connectivity + base);
+}
 
 }  // namespace hidap

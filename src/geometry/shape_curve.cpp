@@ -70,14 +70,15 @@ ShapeCurve ShapeCurve::compose_vertical(const ShapeCurve& a, const ShapeCurve& b
 }
 
 bool ShapeCurve::fits(double w, double h, double eps) const {
-  // Points are sorted by increasing w / decreasing h: the first point with
-  // w' <= w has the smallest height among those, so scan from the widest
-  // point that still fits.
-  for (const Shape& s : points_) {
-    if (s.w > w + eps) break;
-    if (s.h <= h + eps) return true;
-  }
-  return false;
+  // Points are sorted by increasing w / decreasing h, so the last point
+  // with w' <= w has the smallest height among those that fit the width;
+  // the box fits iff that point also fits the height. Binary search --
+  // these queries sit on the annealer's per-move hot path.
+  const auto it = std::partition_point(
+      points_.begin(), points_.end(),
+      [limit = w + eps](const Shape& s) { return s.w <= limit; });
+  if (it == points_.begin()) return false;
+  return (it - 1)->h <= h + eps;
 }
 
 std::optional<Shape> ShapeCurve::min_area_shape() const {
@@ -89,19 +90,23 @@ std::optional<Shape> ShapeCurve::min_area_shape() const {
 }
 
 std::optional<double> ShapeCurve::min_width_for_height(double h, double eps) const {
-  for (const Shape& s : points_) {  // increasing w, decreasing h
-    if (s.h <= h + eps) return s.w;
-  }
-  return std::nullopt;
+  // Increasing w, decreasing h: the fitting points are a suffix; return
+  // the first of them (smallest width).
+  const auto it = std::partition_point(
+      points_.begin(), points_.end(),
+      [limit = h + eps](const Shape& s) { return s.h > limit; });
+  if (it == points_.end()) return std::nullopt;
+  return it->w;
 }
 
 std::optional<double> ShapeCurve::min_height_for_width(double w, double eps) const {
-  std::optional<double> best;
-  for (const Shape& s : points_) {
-    if (s.w > w + eps) break;
-    best = s.h;  // heights decrease along the scan; last fitting is smallest
-  }
-  return best;
+  // The fitting points are a prefix; the last of them has the smallest
+  // height.
+  const auto it = std::partition_point(
+      points_.begin(), points_.end(),
+      [limit = w + eps](const Shape& s) { return s.w <= limit; });
+  if (it == points_.begin()) return std::nullopt;
+  return (it - 1)->h;
 }
 
 std::optional<Shape> ShapeCurve::best_fit(double w, double h, double eps) const {

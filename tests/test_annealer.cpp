@@ -85,6 +85,75 @@ TEST(Annealer, StagnationTerminates) {
   EXPECT_LE(stats.temperature_steps, 4);
 }
 
+TEST(Annealer, BestImprovementToleranceUnifiedAcrossPhases) {
+  // Sub-tolerance improvements are accepted as moves but never refresh
+  // the best snapshot -- neither during the calibration walk nor in the
+  // cooling loop (historically the two phases disagreed: strict < in
+  // calibration, 1e-15 in the loop).
+  // A hair below the starting cost, but above best - tolerance.
+  const double sub_tolerance = 1.0 - kAnnealBestImprovementEps / 4;
+  ASSERT_LT(sub_tolerance, 1.0);
+  int new_best_calls = 0;
+  AnnealOptions opt;
+  opt.calibration_moves = 10;
+  opt.moves_per_temperature = 10;
+  opt.max_stagnant_temperatures = 1;
+  AnnealHooks hooks;
+  hooks.propose = [&]() { return sub_tolerance; };
+  hooks.reject = [&]() { FAIL() << "downhill move rejected"; };
+  hooks.on_new_best = [&](double) { ++new_best_calls; };
+  const AnnealStats stats = anneal(1.0, opt, hooks);
+  EXPECT_EQ(new_best_calls, 0);
+  EXPECT_EQ(stats.best_cost, 1.0);
+  EXPECT_EQ(stats.moves_accepted, stats.moves_attempted);
+}
+
+TEST(Annealer, RealImprovementsRefreshBestInBothPhases) {
+  // Improvements beyond the tolerance must fire on_new_best in the
+  // calibration walk and the cooling loop alike.
+  double value = 100.0;
+  int new_best_calls = 0;
+  AnnealOptions opt;
+  opt.calibration_moves = 3;
+  opt.moves_per_temperature = 3;
+  opt.max_stagnant_temperatures = 1;
+  AnnealHooks hooks;
+  hooks.propose = [&]() { return value -= 1.0; };
+  hooks.reject = [&]() { FAIL() << "downhill move rejected"; };
+  hooks.on_new_best = [&](double) { ++new_best_calls; };
+  const AnnealStats stats = anneal(100.0, opt, hooks);
+  // Every proposal improved by 1.0 >> the tolerance: one call per move,
+  // calibration included.
+  EXPECT_EQ(new_best_calls, static_cast<int>(stats.moves_attempted) + opt.calibration_moves);
+  EXPECT_GT(stats.moves_attempted, 0);
+}
+
+TEST(Annealer, CommitFiresOncePerKeptMove) {
+  // Contract of the incremental-evaluator hooks: every proposal is
+  // followed by exactly one commit (kept) or reject (undone), and the
+  // calibration walk commits everything.
+  Bowl bowl;
+  long proposals = 0, commits = 0, rejects = 0;
+  AnnealOptions opt;
+  opt.seed = 5;
+  AnnealHooks hooks;
+  hooks.propose = [&]() {
+    ++proposals;
+    bowl.backup = bowl.x;
+    bowl.x += bowl.rng.next_bool() ? 1 : -1;
+    return bowl.cost();
+  };
+  hooks.commit = [&]() { ++commits; };
+  hooks.reject = [&]() {
+    ++rejects;
+    bowl.x = bowl.backup;
+  };
+  const AnnealStats stats = anneal(bowl.cost(), opt, hooks);
+  EXPECT_EQ(commits + rejects, proposals);
+  EXPECT_EQ(commits, stats.moves_accepted + opt.calibration_moves);
+  EXPECT_EQ(rejects, stats.moves_attempted - stats.moves_accepted);
+}
+
 TEST(Annealer, AcceptsDownhillAlways) {
   // Strictly improving proposals must all be accepted.
   double value = 100.0;

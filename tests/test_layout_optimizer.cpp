@@ -125,6 +125,66 @@ TEST(LayoutOptimizer, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(a.cost, b.cost);
 }
 
+TEST(LayoutOptimizer, IncrementalAndFullRecomputeAreByteIdentical) {
+  // The incremental engine must not change a single accept/reject
+  // decision: same seed => same Polish expression, same rects, same
+  // cost, bit for bit.
+  LayoutProblem p;
+  p.region = {0, 0, 40, 30};
+  for (int i = 0; i < 7; ++i) {
+    BudgetBlock b = soft(30 + 11.0 * i);
+    if (i % 2 == 0) b.gamma = ShapeCurve::for_rect(4 + i, 6);
+    p.blocks.push_back(b);
+  }
+  p.terminals = {Point{0, 0}, Point{40, 30}};
+  AffinityMatrix aff(9);
+  aff.set(0, 6, 1.0);
+  aff.set(1, 3, 0.8);
+  aff.set(2, 7, 0.4);  // block 2 <-> terminal 0
+  aff.set(5, 8, 0.6);  // block 5 <-> terminal 1
+  p.affinity = &aff;
+
+  AnnealOptions on = quick_anneal(17);
+  on.incremental = true;
+  AnnealOptions off = on;
+  off.incremental = false;
+
+  const LayoutSolution a = optimize_layout(p, on);
+  const LayoutSolution b = optimize_layout(p, off);
+  EXPECT_EQ(a.expression.elements(), b.expression.elements());
+  EXPECT_EQ(a.cost, b.cost);
+  ASSERT_EQ(a.rects.size(), b.rects.size());
+  for (std::size_t i = 0; i < a.rects.size(); ++i) EXPECT_EQ(a.rects[i], b.rects[i]);
+}
+
+TEST(LayoutOptimizer, MultichainPicksSameWinnerEitherMode) {
+  LayoutProblem p;
+  p.region = {0, 0, 24, 24};
+  for (int i = 0; i < 6; ++i) p.blocks.push_back(soft(25 + 7.0 * i));
+  AffinityMatrix aff(6);
+  aff.set(0, 5, 1.0);
+  aff.set(2, 3, 0.5);
+  p.affinity = &aff;
+
+  AnnealOptions on = quick_anneal(23);
+  on.chains = 3;
+  on.incremental = true;
+  AnnealOptions off = on;
+  off.incremental = false;
+
+  const LayoutSolution a = optimize_layout(p, on);
+  const LayoutSolution b = optimize_layout(p, off);
+  EXPECT_EQ(a.expression.elements(), b.expression.elements());
+  EXPECT_EQ(a.cost, b.cost);
+
+  // ... and the winner is thread-count independent with incremental on.
+  LayoutProblem serial = p;
+  serial.num_threads = 1;
+  const LayoutSolution c = optimize_layout(serial, on);
+  EXPECT_EQ(a.expression.elements(), c.expression.elements());
+  EXPECT_EQ(a.cost, c.cost);
+}
+
 TEST(LayoutOptimizer, EmptyProblem) {
   LayoutProblem p;
   p.region = {0, 0, 4, 4};
