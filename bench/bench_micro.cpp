@@ -54,6 +54,38 @@ void BM_ShapeCurveCompose(benchmark::State& state) {
 }
 BENCHMARK(BM_ShapeCurveCompose)->Arg(8)->Arg(32)->Arg(128);
 
+// Sweep vs pairwise shape-curve composition at realistic frontier sizes
+// (aspect-swept staircases like the ones pack_shape_curve and
+// budget_compose_info shuttle around; exactly p points each). The sweep
+// must produce bit-identical point lists; only the time may differ
+// (acceptance gate: >= 5x at p = 16..64).
+ShapeCurve compose_bench_curve(int p, std::uint64_t seed) {
+  Rng rng(seed);
+  return ShapeCurve::soft_area(rng.next_double(800, 3000), 0.25, 4.0, p);
+}
+
+void BM_ComposePairwise(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const ShapeCurve a = compose_bench_curve(p, 21);
+  const ShapeCurve b = compose_bench_curve(p, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ShapeCurve::compose_horizontal_pairwise(a, b));
+    benchmark::DoNotOptimize(ShapeCurve::compose_vertical_pairwise(a, b));
+  }
+}
+BENCHMARK(BM_ComposePairwise)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ComposeSweep(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const ShapeCurve a = compose_bench_curve(p, 21);
+  const ShapeCurve b = compose_bench_curve(p, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ShapeCurve::compose_horizontal(a, b));
+    benchmark::DoNotOptimize(ShapeCurve::compose_vertical(a, b));
+  }
+}
+BENCHMARK(BM_ComposeSweep)->Arg(16)->Arg(32)->Arg(64);
+
 void BM_BudgetLayout(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Rng rng(11);
@@ -243,6 +275,31 @@ void BM_IncrementalEvaluate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IncrementalEvaluate)->Arg(8)->Arg(16)->Arg(32);
+
+// Split-skipping ablation: the same rejected-move ring with the top-down
+// budget splits always rerun in full (BudgetOptions::skip_splits off).
+// The delta against BM_IncrementalEvaluate is what the skippable-splits
+// scheme saves per move.
+void BM_IncrementalEvaluateNoSplitSkip(benchmark::State& state) {
+  LayoutBenchProblem lp = make_layout_problem(static_cast<int>(state.range(0)));
+  lp.problem.affinity = &lp.affinity;
+  Rng rng(17);
+  PolishExpression base;
+  const std::vector<PolishExpression> ring =
+      make_move_ring(static_cast<int>(lp.problem.blocks.size()), rng, base);
+  BudgetOptions no_skip;
+  no_skip.skip_splits = false;
+  IncrementalLayoutEval eval(lp.problem.blocks, lp.problem.region, lp.problem.terminals,
+                             lp.affinity, base, no_skip);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eval.propose([&](PolishExpression& expr) { expr = ring[k]; }));
+    eval.rollback();
+    k = (k + 1) % ring.size();
+  }
+}
+BENCHMARK(BM_IncrementalEvaluateNoSplitSkip)->Arg(8)->Arg(16)->Arg(32);
 
 // Flat-SA objective, full recompute per move (position map + all-pairs
 // overlap) vs the per-net / per-pair delta cache.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "floorplan/polish_expression.hpp"
 #include "util/log.hpp"
@@ -11,23 +12,38 @@ namespace hidap {
 
 ShapeCurve compose_curve(const std::vector<ShapeCurve>& leaves,
                          const PolishExpression& expr, std::size_t curve_points) {
-  std::vector<ShapeCurve> stack;
+  // Pointer stack over borrowed leaf curves: leaf curves are never copied
+  // on the compose path, and only live intermediates are materialized --
+  // `owned` parallels `stack` (null for leaf entries), so a consumed
+  // intermediate frees as soon as its parent is composed and the peak is
+  // O(stack depth) curves, not O(n).
+  std::vector<const ShapeCurve*> stack;
+  std::vector<std::unique_ptr<ShapeCurve>> owned;
   for (const int e : expr.elements()) {
     if (is_operator(e)) {
-      ShapeCurve right = std::move(stack.back());
+      const std::unique_ptr<ShapeCurve> right = std::move(owned.back());
+      const ShapeCurve* right_ptr = stack.back();
+      owned.pop_back();
       stack.pop_back();
-      ShapeCurve left = std::move(stack.back());
+      const std::unique_ptr<ShapeCurve> left = std::move(owned.back());
+      const ShapeCurve* left_ptr = stack.back();
+      owned.pop_back();
       stack.pop_back();
       // V: side by side (widths add); H: stacked (heights add).
-      ShapeCurve combined = (e == kOpV) ? ShapeCurve::compose_horizontal(left, right)
-                                        : ShapeCurve::compose_vertical(left, right);
+      ShapeCurve combined = (e == kOpV)
+                                ? ShapeCurve::compose_horizontal(*left_ptr, *right_ptr)
+                                : ShapeCurve::compose_vertical(*left_ptr, *right_ptr);
       combined.prune(curve_points);
-      stack.push_back(std::move(combined));
+      owned.push_back(std::make_unique<ShapeCurve>(std::move(combined)));
+      stack.push_back(owned.back().get());
     } else {
-      stack.push_back(leaves[static_cast<std::size_t>(e)]);
+      stack.push_back(&leaves[static_cast<std::size_t>(e)]);
+      owned.push_back(nullptr);
     }
   }
-  return stack.empty() ? ShapeCurve{} : stack.back();
+  if (stack.empty()) return {};
+  if (owned.back() != nullptr) return std::move(*owned.back());
+  return *stack.back();
 }
 
 ShapeCurve pack_shape_curve(const std::vector<ShapeCurve>& leaves,

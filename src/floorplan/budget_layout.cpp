@@ -1,7 +1,9 @@
 #include "floorplan/budget_layout.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cstdint>
 
 namespace hidap {
 
@@ -48,11 +50,22 @@ double min_extent(const BudgetNodeInfo& info, double cross, bool along_width) {
 }
 
 // Grades the final rectangle of a leaf block against its <Gamma, am, at>.
-void score_leaf(const BudgetBlock& b, const Rect& rect, BudgetViolations& v) {
+// Returns true iff any violation op fired (feeds BudgetSplitCache::
+// touched; a fired add may still leave the accumulator bit-unchanged
+// through IEEE absorption, so the totals cannot stand in for this).
+bool score_leaf(const BudgetBlock& b, const Rect& rect, BudgetViolations& v) {
+  bool fired = false;
   const double area = rect.area();
-  if (area + 1e-9 < b.at) v.at_deficit += b.at - area;
-  if (area + 1e-9 < b.am) v.am_deficit += b.am - area;
+  if (area + 1e-9 < b.at) {
+    v.at_deficit += b.at - area;
+    fired = true;
+  }
+  if (area + 1e-9 < b.am) {
+    v.am_deficit += b.am - area;
+    fired = true;
+  }
   if (!b.gamma.empty() && !b.gamma.fits(rect.w, rect.h)) {
+    fired = true;
     ++v.infeasible_leaves;
     // Overflow area of the best attempt: how much macro bounding box
     // sticks out of the rectangle.
@@ -66,49 +79,158 @@ void score_leaf(const BudgetBlock& b, const Rect& rect, BudgetViolations& v) {
     }
     v.macro_deficit += std::max(best_overflow, 0.0);
   }
+  return fired;
 }
 
+// Skip decisions demand bit equality, not operator== (which would let a
+// -0.0/+0.0 mismatch smuggle in a sign-of-zero divergence downstream).
+// Failing the comparison is always safe -- the pass just recurses.
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool bits_equal(const Rect& a, const Rect& b) {
+  return bits_equal(a.x, b.x) && bits_equal(a.y, b.y) && bits_equal(a.w, b.w) &&
+         bits_equal(a.h, b.h);
+}
+
+bool bits_equal(const BudgetViolations& a, const BudgetViolations& b) {
+  return bits_equal(a.at_deficit, b.at_deficit) && bits_equal(a.am_deficit, b.am_deficit) &&
+         bits_equal(a.macro_deficit, b.macro_deficit) &&
+         a.infeasible_leaves == b.infeasible_leaves;
+}
+
+// `entry_checks` gates the rule-2 (accumulator-entry) comparisons: once a
+// clean subtree root has diverged from its committed entry state, its
+// descendants' entries have (in practice) diverged too, so re-comparing
+// them at every level would pay for compares that cannot succeed.
+// Gating is a pure heuristic -- a missed skip just recurses, which is
+// always bit-correct -- while rule 1 (untouched spans) keeps firing, as
+// it is valid from any accumulator state.
 void assign(const SlicingTree& tree, const BudgetNodeInfo* const* infos,
             const std::vector<BudgetBlock>& blocks, int node_id, const Rect& rect,
-            BudgetResult& result) {
-  const SlicingTree::Node& node = tree.nodes[static_cast<std::size_t>(node_id)];
+            BudgetResult& result, const BudgetSkipContext* skip, bool entry_checks) {
+  const auto idx = static_cast<std::size_t>(node_id);
+  bool child_entry_checks = entry_checks;
+  if (skip != nullptr) {
+    bool skippable = false;
+    if (skip->committed != nullptr && skip->clean[idx]) {
+      if (!skip->committed->touched[idx]) {
+        // No violation op fired in this subtree during the committed
+        // pass, and whether an op fires depends only on blocks and
+        // rectangles (never on the running totals): the replay is an
+        // identity from ANY accumulator state. Skip without touching
+        // result.violations. (The explicit flag matters: bit-equal
+        // entry/exit totals would not prove this -- a fired positive add
+        // can be absorbed by a large accumulator.)
+        skippable = bits_equal(skip->committed->node_rect[idx], rect);
+      } else if (entry_checks) {
+        if (bits_equal(skip->committed->node_rect[idx], rect) &&
+            bits_equal(skip->committed->entry[idx], result.violations)) {
+          // Same subtree content, same rectangle, same accumulator state
+          // on entry: the oracle would replay the committed operation
+          // sequence verbatim, so jump to its recorded exit state.
+          result.violations = skip->committed->exit[idx];
+          skippable = true;
+        } else {
+          child_entry_checks = false;
+        }
+      }
+    }
+    if (skippable) {
+      // The span's leaf rects keep their committed (identical) values:
+      // copied here when the committed rects are at hand, pre-seeded by
+      // the caller otherwise.
+      if (skip->committed_leaf_rects != nullptr) {
+        for (std::size_t p = static_cast<std::size_t>(skip->span_start[idx]); p <= idx;
+             ++p) {
+          const SlicingTree::Node& n = tree.nodes[p];
+          if (n.is_leaf()) {
+            const auto leaf = static_cast<std::size_t>(n.leaf);
+            result.leaf_rects[leaf] = (*skip->committed_leaf_rects)[leaf];
+          }
+        }
+      }
+      if (skip->record != nullptr) {
+        // Refresh the record from the committed snapshots so a later
+        // pass can skip any sub-span of this subtree too (snapshots of
+        // an unchanged span stay valid forever: they are pure functions
+        // of its blocks, rectangle and entry state).
+        const auto s = static_cast<std::size_t>(skip->span_start[idx]);
+        const auto count = static_cast<std::ptrdiff_t>(idx + 1 - s);
+        const auto at = static_cast<std::ptrdiff_t>(s);
+        std::copy_n(skip->committed->node_rect.begin() + at, count,
+                    skip->record->node_rect.begin() + at);
+        std::copy_n(skip->committed->entry.begin() + at, count,
+                    skip->record->entry.begin() + at);
+        std::copy_n(skip->committed->exit.begin() + at, count,
+                    skip->record->exit.begin() + at);
+        std::copy_n(skip->committed->touched.begin() + at, count,
+                    skip->record->touched.begin() + at);
+      }
+      return;
+    }
+    if (skip->record != nullptr) {
+      skip->record->node_rect[idx] = rect;
+      skip->record->entry[idx] = result.violations;
+    }
+  }
+
+  const SlicingTree::Node& node = tree.nodes[idx];
   if (node.is_leaf()) {
     result.leaf_rects[static_cast<std::size_t>(node.leaf)] = rect;
-    score_leaf(blocks[static_cast<std::size_t>(node.leaf)], rect, result.violations);
-    return;
-  }
-  const BudgetNodeInfo& l = *infos[static_cast<std::size_t>(node.left)];
-  const BudgetNodeInfo& r = *infos[static_cast<std::size_t>(node.right)];
-  const double at_sum = l.at + r.at;
-  const double ratio = at_sum > 0 ? l.at / at_sum : 0.5;
-
-  if (node.op == kOpV) {
-    // Side-by-side: split the width.
-    double wl = rect.w * ratio;
-    const double min_l = min_extent(l, rect.h, /*along_width=*/true);
-    const double min_r = min_extent(r, rect.h, /*along_width=*/true);
-    if (min_l + min_r <= rect.w) {
-      wl = std::clamp(wl, min_l, rect.w - min_r);
-    } else {
-      // Even the minima do not fit; split the shortfall proportionally.
-      wl = rect.w * (min_l / (min_l + min_r));
+    const bool fired =
+        score_leaf(blocks[static_cast<std::size_t>(node.leaf)], rect, result.violations);
+    if (skip != nullptr && skip->record != nullptr) {
+      skip->record->touched[idx] = fired ? 1 : 0;
     }
-    assign(tree, infos, blocks, node.left, Rect{rect.x, rect.y, wl, rect.h}, result);
-    assign(tree, infos, blocks, node.right, Rect{rect.x + wl, rect.y, rect.w - wl, rect.h},
-           result);
   } else {
-    // Stacked: split the height.
-    double hl = rect.h * ratio;
-    const double min_l = min_extent(l, rect.w, /*along_width=*/false);
-    const double min_r = min_extent(r, rect.w, /*along_width=*/false);
-    if (min_l + min_r <= rect.h) {
-      hl = std::clamp(hl, min_l, rect.h - min_r);
+    const BudgetNodeInfo& l = *infos[static_cast<std::size_t>(node.left)];
+    const BudgetNodeInfo& r = *infos[static_cast<std::size_t>(node.right)];
+    const double at_sum = l.at + r.at;
+    const double ratio = at_sum > 0 ? l.at / at_sum : 0.5;
+
+    if (node.op == kOpV) {
+      // Side-by-side: split the width.
+      double wl = rect.w * ratio;
+      const double min_l = min_extent(l, rect.h, /*along_width=*/true);
+      const double min_r = min_extent(r, rect.h, /*along_width=*/true);
+      if (min_l + min_r <= rect.w) {
+        wl = std::clamp(wl, min_l, rect.w - min_r);
+      } else {
+        // Even the minima do not fit; split the shortfall proportionally.
+        wl = rect.w * (min_l / (min_l + min_r));
+      }
+      assign(tree, infos, blocks, node.left, Rect{rect.x, rect.y, wl, rect.h}, result,
+             skip, child_entry_checks);
+      assign(tree, infos, blocks, node.right,
+             Rect{rect.x + wl, rect.y, rect.w - wl, rect.h}, result, skip,
+             child_entry_checks);
     } else {
-      hl = rect.h * (min_l / (min_l + min_r));
+      // Stacked: split the height.
+      double hl = rect.h * ratio;
+      const double min_l = min_extent(l, rect.w, /*along_width=*/false);
+      const double min_r = min_extent(r, rect.w, /*along_width=*/false);
+      if (min_l + min_r <= rect.h) {
+        hl = std::clamp(hl, min_l, rect.h - min_r);
+      } else {
+        hl = rect.h * (min_l / (min_l + min_r));
+      }
+      assign(tree, infos, blocks, node.left, Rect{rect.x, rect.y, rect.w, hl}, result,
+             skip, child_entry_checks);
+      assign(tree, infos, blocks, node.right,
+             Rect{rect.x, rect.y + hl, rect.w, rect.h - hl}, result, skip,
+             child_entry_checks);
     }
-    assign(tree, infos, blocks, node.left, Rect{rect.x, rect.y, rect.w, hl}, result);
-    assign(tree, infos, blocks, node.right, Rect{rect.x, rect.y + hl, rect.w, rect.h - hl},
-           result);
+  }
+
+  if (skip != nullptr && skip->record != nullptr) {
+    skip->record->exit[idx] = result.violations;
+    if (!node.is_leaf()) {
+      skip->record->touched[idx] =
+          skip->record->touched[static_cast<std::size_t>(node.left)] |
+          skip->record->touched[static_cast<std::size_t>(node.right)];
+    }
   }
 }
 
@@ -116,8 +238,10 @@ void assign(const SlicingTree& tree, const BudgetNodeInfo* const* infos,
 
 void budget_assign(const SlicingTree& tree, const BudgetNodeInfo* const* infos,
                    const std::vector<BudgetBlock>& blocks, const Rect& budget,
-                   BudgetResult& result) {
-  assign(tree, infos, blocks, tree.root, budget, result);
+                   BudgetResult& result, const BudgetSkipContext* skip) {
+  assert(skip == nullptr || skip->committed == nullptr ||
+         (skip->clean != nullptr && skip->span_start != nullptr));
+  assign(tree, infos, blocks, tree.root, budget, result, skip, /*entry_checks=*/true);
 }
 
 BudgetResult budget_layout(const PolishExpression& expr,

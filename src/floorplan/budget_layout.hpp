@@ -11,6 +11,7 @@
 // free slack above at (cheapest), target area at, minimum area am, or
 // outright macro infeasibility (most severe).
 
+#include <cstdint>
 #include <vector>
 
 #include "floorplan/polish_expression.hpp"
@@ -45,6 +46,11 @@ struct BudgetResult {
 
 struct BudgetOptions {
   std::size_t curve_points = 24;  ///< pruning cap for composed curves
+  /// Incremental engine only: let clean subtrees skip their top-down
+  /// split recomputation (see BudgetSkipContext). Bit-compatible with the
+  /// full recompute by construction; the switch exists for benchmarking
+  /// and differential testing, not as a safety valve.
+  bool skip_splits = true;
 };
 
 /// Per-slicing-node aggregate computed bottom-up before the top-down pass
@@ -66,15 +72,75 @@ BudgetNodeInfo budget_leaf_info(const BudgetBlock& block);
 BudgetNodeInfo budget_compose_info(int op, const BudgetNodeInfo& l, const BudgetNodeInfo& r,
                                    std::size_t curve_points);
 
+/// Per-node record of one top-down assignment pass: the rectangle handed
+/// to every slicing-tree node plus the violation-accumulator state on
+/// entry to and exit from its subtree. Node indexing follows the
+/// element-position convention of the incremental engine (node i parses
+/// from element position i, its subtree spanning positions
+/// [span_start[i], i]).
+struct BudgetSplitCache {
+  std::vector<Rect> node_rect;
+  std::vector<BudgetViolations> entry;
+  std::vector<BudgetViolations> exit;
+  /// Per node: 1 iff any violation op (a deficit add or an
+  /// infeasible-leaf count) fired anywhere in the subtree. Tracked
+  /// explicitly -- comparing entry and exit bits instead would be fooled
+  /// by IEEE absorption (a positive add can leave a large accumulator
+  /// bit-unchanged), and the skip rules below must stay exact.
+  std::vector<std::uint8_t> touched;
+
+  void resize(std::size_t nodes) {
+    node_rect.resize(nodes);
+    entry.resize(nodes);
+    exit.resize(nodes);
+    touched.resize(nodes);
+  }
+};
+
+/// Skippable top-down budget splits (ROADMAP perf item): when a subtree's
+/// content is unchanged (`clean[i]`) and the rectangle handed to it is
+/// bit-equal to the committed pass, the subtree is not walked if either
+///   * no violation op fired anywhere in it during the committed pass
+///     (`touched[i] == 0`; whether an op fires depends only on blocks
+///     and rectangles, never on the running totals, so the replay is an
+///     identity from any accumulator state), or
+///   * the accumulator enters in a state bit-equal to the committed
+///     entry, in which case the oracle would replay the recorded
+///     operation sequence verbatim and the accumulator jumps straight to
+///     the recorded exit state.
+/// The caller must pre-seed `result.leaf_rects` with the committed leaf
+/// rects so the skipped span's leaves already hold their (identical)
+/// values.
+///
+/// `record`, when set, captures this pass's per-node rects and
+/// accumulator snapshots (skipped spans are copied over from `committed`)
+/// so it can serve as the `committed` side of a later pass. The
+/// incremental engine leaves it null while proposing and records only
+/// when a proposal is committed, so rejected moves never pay for
+/// snapshot stores.
+struct BudgetSkipContext {
+  const BudgetSplitCache* committed = nullptr;  ///< skip source; may be null
+  const std::uint8_t* clean = nullptr;  ///< per node: subtree content unchanged
+  const int* span_start = nullptr;      ///< per node: first element position of its span
+  BudgetSplitCache* record = nullptr;   ///< this pass's snapshots; may be null
+  /// Committed leaf rects (indexed by leaf id). When set, a skipped
+  /// span's leaf rects are copied into the result right in the skip
+  /// branch; when null, the caller must have pre-seeded
+  /// `result.leaf_rects` with them instead.
+  const std::vector<Rect>* committed_leaf_rects = nullptr;
+};
+
 /// Top-down assignment pass: splits `budget` down the slicing tree using
 /// the precomputed per-node infos (`infos[i]` describes `tree.nodes[i]`),
 /// writing leaf rectangles and graded violations into `result` (which
 /// must have `leaf_rects` pre-sized to the block count). This is the
 /// second half of budget_layout(), shared with the incremental engine so
-/// both produce bit-identical rects and violation totals.
+/// both produce bit-identical rects and violation totals. `skip`
+/// optionally enables clean-subtree split skipping and per-node
+/// recording; passing nullptr is the plain full pass.
 void budget_assign(const SlicingTree& tree, const BudgetNodeInfo* const* infos,
                    const std::vector<BudgetBlock>& blocks, const Rect& budget,
-                   BudgetResult& result);
+                   BudgetResult& result, const BudgetSkipContext* skip = nullptr);
 
 /// Lays out `blocks` (operand id -> block) inside `budget` according to
 /// the slicing structure of `expr`.

@@ -3,10 +3,10 @@
 // IV-E; ROADMAP "batched move evaluation / incremental HPWL" item).
 //
 // The full-recompute objective (evaluate_layout_full) pays, per proposed
-// Polish move, a complete bottom-up shape-curve composition pass -- the
-// O(p^2) Wong-Liu curve products dominate -- plus an O(n^2) affinity
-// scan. Both are wasteful: the three Polish moves (M1/M2/M3) change only
-// a handful of element positions, so
+// Polish move, a complete bottom-up shape-curve composition pass (sweep
+// merges since PR 4, but still one per tree node) plus an O(n^2)
+// affinity scan. Both are wasteful: the three Polish moves (M1/M2/M3)
+// change only a handful of element positions, so
 //
 //   * every slicing-tree subtree whose element span avoids the mutated
 //     positions keeps its <Gamma, am, at> characterization verbatim, and
@@ -15,11 +15,13 @@
 //
 // IncrementalLayoutEval caches both. On propose() it re-parses the
 // expression (O(n), no curve work), recomputes node infos only along the
-// paths from mutated positions to the root, reruns the cheap top-down
-// budget split, and refreshes only the connectivity terms of blocks
-// whose center moved. The cheap final reductions (violations grading,
-// the left-to-right term sum) are rerun in full, in the oracle's exact
-// accumulation order.
+// paths from mutated positions to the root, reruns the top-down budget
+// split with clean-subtree skipping (a subtree whose content, rectangle
+// and violation-accumulator entry state are bit-equal to the committed
+// pass jumps straight to its recorded exit state; see BudgetSkipContext),
+// and refreshes only the connectivity terms of blocks whose center
+// moved. The cheap final reduction (the left-to-right term sum) is rerun
+// in full, in the oracle's exact accumulation order.
 //
 // Bit-identity contract: every number this class produces is the result
 // of the same arithmetic, in the same order, as the full recompute --
@@ -164,6 +166,16 @@ class IncrementalLayoutEval {
   std::vector<double> proposed_terms_;
   double proposed_cost_ = 0.0;
   bool pending_ = false;
+
+  // Skippable top-down budget splits (see BudgetSkipContext): per-node
+  // rect + accumulator snapshots of the committed assignment pass, so
+  // clean subtrees replay it without being walked. Proposals run
+  // read-only against the committed cache; commit() records the accepted
+  // pass into proposed_split_ (clean spans copy wholesale from the old
+  // cache) and promotes it, so rejected proposals never pay for
+  // snapshot stores.
+  BudgetSplitCache committed_split_, proposed_split_;
+  std::vector<std::uint8_t> clean_nodes_;  ///< per node: span untouched by the diff
 
   // Reused scratch (no steady-state allocation on the move hot path).
   SlicingTree tree_;

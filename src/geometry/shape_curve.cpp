@@ -1,9 +1,22 @@
 #include "geometry/shape_curve.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 namespace hidap {
+
+ShapeCurve ShapeCurve::from_sorted(std::vector<Shape> points) {
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    assert(points[i].w > 0 && points[i].h > 0);
+    assert(i == 0 || (points[i - 1].w < points[i].w && points[i - 1].h > points[i].h));
+  }
+#endif
+  ShapeCurve c;
+  c.points_ = std::move(points);
+  return c;
+}
 
 ShapeCurve ShapeCurve::for_rect(double w, double h, bool rotate) {
   ShapeCurve c;
@@ -46,10 +59,121 @@ void ShapeCurve::add(Shape s) {
 }
 
 void ShapeCurve::merge(const ShapeCurve& other) {
-  for (const Shape& s : other.points_) add(s);
+  if (other.points_.empty()) return;
+  if (points_.empty()) {
+    points_ = other.points_;
+    return;
+  }
+  // Linear two-pointer merge: walk both frontiers in width order and keep
+  // exactly the Pareto minima of the union. A candidate is compared only
+  // against the last kept point -- it has maximal width among the kept,
+  // so it is the only one that can dominate or tie the candidate.
+  std::vector<Shape> merged;
+  merged.reserve(points_.size() + other.points_.size());
+  const auto emit = [&merged](const Shape& s) {
+    if (!merged.empty()) {
+      if (s.h >= merged.back().h) return;  // dominated (back.w <= s.w)
+      if (s.w == merged.back().w) {
+        merged.back() = s;  // equal width: the lower point wins
+        return;
+      }
+    }
+    merged.push_back(s);
+  };
+  std::size_t i = 0, j = 0;
+  while (i < points_.size() && j < other.points_.size()) {
+    emit(points_[i].w <= other.points_[j].w ? points_[i++] : other.points_[j++]);
+  }
+  while (i < points_.size()) emit(points_[i++]);
+  while (j < other.points_.size()) emit(other.points_[j++]);
+  points_ = std::move(merged);
 }
 
 ShapeCurve ShapeCurve::compose_horizontal(const ShapeCurve& a, const ShapeCurve& b) {
+  // Sweep merge: walking both frontiers in merged descending-height order
+  // visits, for every achievable height level, exactly the minimal-width
+  // pair (each pointer rests on the first point of its curve that fits
+  // the level). Heights strictly decrease along the walk; widths are
+  // nondecreasing but can collide after rounding when the operand
+  // magnitudes differ wildly -- the lower point then replaces the earlier
+  // one, exactly as the pairwise frontier would keep only it.
+  ShapeCurve out;
+  const std::size_t pa = a.points_.size(), pb = b.points_.size();
+  if (pa == 0 || pb == 0) return out;
+  std::vector<Shape>& o = out.points_;
+  o.reserve(pa + pb);
+  const Shape* pta = a.points_.data();
+  const Shape* ptb = b.points_.data();
+  std::size_t i = 0, j = 0;
+  double last_w = -1.0;  // dims are positive, so no emitted width matches
+  for (;;) {
+    const Shape& sa = pta[i];
+    const Shape& sb = ptb[j];
+    const double w = sa.w + sb.w;
+    const double h = sa.h > sb.h ? sa.h : sb.h;
+    if (w == last_w) {
+      o.back().h = h;
+    } else {
+      o.push_back({w, h});
+      last_w = w;
+    }
+    // Advance past the binding (taller) operand; once either list is
+    // exhausted, no remaining pair can reach a lower height level.
+    if (sa.h > sb.h) {
+      if (++i == pa) break;
+    } else if (sb.h > sa.h) {
+      if (++j == pb) break;
+    } else {
+      ++i;
+      ++j;
+      if (i == pa || j == pb) break;
+    }
+  }
+  return out;
+}
+
+ShapeCurve ShapeCurve::compose_vertical(const ShapeCurve& a, const ShapeCurve& b) {
+  // Transpose of the horizontal sweep: walk both frontiers backwards
+  // (descending width), emit the minimal stacked height per width level,
+  // then reverse into increasing-width order. Width collisions cannot
+  // round (max picks an original value); height sums can, and dedupe by
+  // keeping the narrower point, as the pairwise frontier does.
+  ShapeCurve out;
+  const std::size_t pa = a.points_.size(), pb = b.points_.size();
+  if (pa == 0 || pb == 0) return out;
+  std::vector<Shape>& o = out.points_;
+  o.reserve(pa + pb);
+  const Shape* pta = a.points_.data();
+  const Shape* ptb = b.points_.data();
+  std::size_t i = pa, j = pb;  // one past the walk position
+  double last_h = -1.0;  // dims are positive, so no emitted height matches
+  for (;;) {
+    const Shape& sa = pta[i - 1];
+    const Shape& sb = ptb[j - 1];
+    const double w = sa.w > sb.w ? sa.w : sb.w;
+    const double h = sa.h + sb.h;
+    if (h == last_h) {
+      o.back().w = w;
+    } else {
+      o.push_back({w, h});
+      last_h = h;
+    }
+    if (sa.w > sb.w) {
+      if (--i == 0) break;
+    } else if (sb.w > sa.w) {
+      if (--j == 0) break;
+    } else {
+      --i;
+      --j;
+      if (i == 0 || j == 0) break;
+    }
+  }
+  std::reverse(o.begin(), o.end());
+  return out;
+}
+
+ShapeCurve ShapeCurve::compose_horizontal_pairwise(const ShapeCurve& a,
+                                                   const ShapeCurve& b) {
   ShapeCurve out;
   for (const Shape& sa : a.points_) {
     for (const Shape& sb : b.points_) {
@@ -59,7 +183,7 @@ ShapeCurve ShapeCurve::compose_horizontal(const ShapeCurve& a, const ShapeCurve&
   return out;
 }
 
-ShapeCurve ShapeCurve::compose_vertical(const ShapeCurve& a, const ShapeCurve& b) {
+ShapeCurve ShapeCurve::compose_vertical_pairwise(const ShapeCurve& a, const ShapeCurve& b) {
   ShapeCurve out;
   for (const Shape& sa : a.points_) {
     for (const Shape& sb : b.points_) {
@@ -110,10 +234,18 @@ std::optional<double> ShapeCurve::min_height_for_width(double w, double eps) con
 }
 
 std::optional<Shape> ShapeCurve::best_fit(double w, double h, double eps) const {
+  // The width-fitting points are a prefix and, within it, the
+  // height-fitting points a suffix; binary-search both boundaries and
+  // min-area scan only the fitting range (first minimum wins ties, as
+  // the full scan did).
+  const auto w_end = std::partition_point(
+      points_.begin(), points_.end(),
+      [limit = w + eps](const Shape& s) { return s.w <= limit; });
+  const auto h_begin = std::partition_point(
+      points_.begin(), w_end, [limit = h + eps](const Shape& s) { return s.h > limit; });
   std::optional<Shape> best;
-  for (const Shape& s : points_) {
-    if (s.w > w + eps) break;
-    if (s.h <= h + eps && (!best || s.area() < best->area())) best = s;
+  for (auto it = h_begin; it != w_end; ++it) {
+    if (!best || it->area() < best->area()) best = *it;
   }
   return best;
 }
@@ -127,7 +259,10 @@ void ShapeCurve::prune(std::size_t max_points) {
     const std::size_t idx = i * (n - 1) / (max_points - 1);
     if (kept.empty() || !(kept.back() == points_[idx])) kept.push_back(points_[idx]);
   }
-  points_ = std::move(kept);
+  // A spread subset of a frontier is a frontier; adopting it through
+  // from_sorted re-checks the invariant in debug builds, which guards
+  // the sweep composers feeding this on every slicing-tree node.
+  *this = from_sorted(std::move(kept));
 }
 
 }  // namespace hidap

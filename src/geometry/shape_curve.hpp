@@ -42,16 +42,38 @@ class ShapeCurve {
   bool empty() const { return points_.empty(); }
   const std::vector<Shape>& points() const { return points_; }
 
+  /// Adopts an already-sorted Pareto frontier (positive dims, strictly
+  /// increasing w, strictly decreasing h; debug-asserted). The batch
+  /// counterpart of repeated add() for callers that produce frontier
+  /// points in order -- no per-point insert/erase ever runs.
+  static ShapeCurve from_sorted(std::vector<Shape> points);
+
   /// Adds one feasible shape, maintaining the Pareto frontier.
   void add(Shape s);
 
   /// Merges every point of `other` into this curve (Pareto union).
+  /// Linear two-pointer merge over both sorted frontiers.
   void merge(const ShapeCurve& other);
+
+  // Wong-Liu composition, O(p_a + p_b): both frontiers are walked in
+  // merged order of the binding coordinate (horizontal: descending
+  // height; vertical: descending width), emitting the minimal pair per
+  // level directly -- no pairwise products, no per-point insertion. The
+  // emitted coordinates are the same two-operand sums/maxes the pairwise
+  // reference computes, so the point lists are bit-identical to the
+  // *_pairwise oracles below (enforced by tests/test_shape_curve.cpp).
 
   /// Children side by side: widths add, heights max.
   static ShapeCurve compose_horizontal(const ShapeCurve& a, const ShapeCurve& b);
   /// Children stacked: heights add, widths max.
   static ShapeCurve compose_vertical(const ShapeCurve& a, const ShapeCurve& b);
+
+  /// Reference O(p_a * p_b) composers (the original implementation).
+  /// Kept as the differential oracle for the sweep composers and as the
+  /// baseline kernel in bench_micro (BM_ComposePairwise); not used on any
+  /// production path.
+  static ShapeCurve compose_horizontal_pairwise(const ShapeCurve& a, const ShapeCurve& b);
+  static ShapeCurve compose_vertical_pairwise(const ShapeCurve& a, const ShapeCurve& b);
 
   /// True when some curve point fits inside a w x h box.
   bool fits(double w, double h, double eps = 1e-9) const;

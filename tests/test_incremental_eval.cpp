@@ -123,6 +123,57 @@ TEST(IncrementalLayoutEval, RandomWalkMatchesFullRecomputeBitForBit) {
   }
 }
 
+TEST(IncrementalLayoutEval, SplitSkippingWalkMatchesNoSkipWalkBitForBit) {
+  // Two evaluators, split skipping on vs off, fed the identical move
+  // stream: every proposal cost and every committed state must agree bit
+  // for bit (skipped subtrees replay the committed pass's arithmetic, so
+  // there is nothing to diverge). The default-options walks above already
+  // pit skipping against the full oracle; this isolates the knob.
+  set_log_level(LogLevel::Warn);
+  for (std::uint64_t problem_seed = 20; problem_seed <= 26; ++problem_seed) {
+    GeneratedProblem g = make_problem(problem_seed);
+    g.problem.affinity = &g.affinity;
+    const int n = static_cast<int>(g.blocks.size());
+    BudgetOptions skip_on;
+    skip_on.skip_splits = true;
+    BudgetOptions skip_off;
+    skip_off.skip_splits = false;
+    IncrementalLayoutEval a(g.problem.blocks, g.problem.region, g.problem.terminals,
+                            *g.problem.affinity, PolishExpression::initial(n), skip_on);
+    IncrementalLayoutEval b(g.problem.blocks, g.problem.region, g.problem.terminals,
+                            *g.problem.affinity, PolishExpression::initial(n), skip_off);
+    ASSERT_EQ(a.cost(), b.cost());
+
+    Rng rng_a(problem_seed * 131 + 7);
+    Rng rng_b(problem_seed * 131 + 7);
+    Rng flip(problem_seed);
+    for (int step = 0; step < 200; ++step) {
+      const auto mutate = [](Rng& rng) {
+        return [&rng](PolishExpression& expr) {
+          for (int tries = 0; tries < 8; ++tries) {
+            if (expr.perturb(rng)) break;
+          }
+        };
+      };
+      const double cost_a = a.propose(mutate(rng_a));
+      const double cost_b = b.propose(mutate(rng_b));
+      ASSERT_EQ(cost_a, cost_b) << "problem " << problem_seed << " step " << step;
+      if (flip.next_bool(0.6)) {
+        a.commit();
+        b.commit();
+      } else {
+        a.rollback();
+        b.rollback();
+      }
+      ASSERT_EQ(a.cost(), b.cost());
+    }
+    ASSERT_EQ(a.expression().elements(), b.expression().elements());
+    for (std::size_t i = 0; i < a.rects().size(); ++i) {
+      ASSERT_EQ(a.rects()[i], b.rects()[i]) << "block " << i;
+    }
+  }
+}
+
 TEST(IncrementalLayoutEval, RepeatedRollbacksLeaveCommittedStateIntact) {
   GeneratedProblem g = make_problem(42);
   g.problem.affinity = &g.affinity;

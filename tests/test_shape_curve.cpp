@@ -1,7 +1,14 @@
 // Shape-curve tests (paper Fig. 4): Pareto maintenance, composition
-// algebra, fitting queries. Includes parameterized property sweeps.
+// algebra, fitting queries. Includes parameterized property sweeps and
+// the sweep-vs-pairwise composition differential suite (the sweep
+// composers must reproduce the pairwise oracle's point lists bit for
+// bit, or SA accept/reject streams would diverge from the seed).
 
 #include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <optional>
 
 #include "geometry/shape_curve.hpp"
 #include "util/rng.hpp"
@@ -16,6 +23,25 @@ bool is_pareto_sorted(const ShapeCurve& c) {
     if (!(pts[i - 1].h > pts[i].h)) return false;
   }
   return true;
+}
+
+// Bit equality, stricter than operator== (distinguishes -0.0 from 0.0).
+::testing::AssertionResult curves_bit_equal(const ShapeCurve& a, const ShapeCurve& b) {
+  if (a.points().size() != b.points().size()) {
+    return ::testing::AssertionFailure()
+           << "point counts differ: " << a.points().size() << " vs " << b.points().size();
+  }
+  for (std::size_t i = 0; i < a.points().size(); ++i) {
+    const Shape& pa = a.points()[i];
+    const Shape& pb = b.points()[i];
+    if (std::bit_cast<std::uint64_t>(pa.w) != std::bit_cast<std::uint64_t>(pb.w) ||
+        std::bit_cast<std::uint64_t>(pa.h) != std::bit_cast<std::uint64_t>(pb.h)) {
+      return ::testing::AssertionFailure()
+             << "point " << i << " differs: (" << pa.w << ", " << pa.h << ") vs (" << pb.w
+             << ", " << pb.h << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
 }
 
 TEST(ShapeCurve, RectCurveHasBothRotations) {
@@ -135,6 +161,136 @@ TEST(ShapeCurve, MergeIsParetoUnion) {
   EXPECT_TRUE(is_pareto_sorted(a));
   EXPECT_TRUE(a.fits(3, 3));
   EXPECT_TRUE(a.fits(2, 4));
+}
+
+TEST(ShapeCurve, FromSortedAdoptsFrontierVerbatim) {
+  const std::vector<Shape> pts = {{1, 9}, {3, 4}, {7, 2}};
+  const ShapeCurve c = ShapeCurve::from_sorted(pts);
+  EXPECT_EQ(c.points(), pts);
+  EXPECT_TRUE(is_pareto_sorted(c));
+  EXPECT_TRUE(ShapeCurve::from_sorted({}).empty());
+}
+
+// ---- sweep vs pairwise composition differential ---------------------------
+
+// Random curve zoo, biased toward the degenerate shapes the sweep's edge
+// handling must get right: empty, single point, two curves sharing
+// heights (tie levels), near-duplicate widths.
+ShapeCurve random_curve(Rng& rng) {
+  switch (rng.next_int(0, 4)) {
+    case 0:
+      return ShapeCurve{};
+    case 1:
+      return ShapeCurve::for_rect(rng.next_double(0.5, 40), rng.next_double(0.5, 40),
+                                  /*rotate=*/false);  // single point
+    case 2:
+      return ShapeCurve::for_rect(rng.next_double(0.5, 40), rng.next_double(0.5, 40));
+    case 3:
+      return ShapeCurve::soft_area(rng.next_double(10, 2000), 0.25, 4.0,
+                                   rng.next_int(1, 24));
+    default: {
+      ShapeCurve c;
+      const int n = rng.next_int(1, 24);
+      for (int i = 0; i < n; ++i) {
+        // Coarse grid: frequent exact ties in both coordinates.
+        c.add({static_cast<double>(rng.next_int(1, 12)),
+               static_cast<double>(rng.next_int(1, 12))});
+      }
+      return c;
+    }
+  }
+}
+
+TEST(ShapeCurveDifferential, SweepComposeMatchesPairwiseOracleBitForBit) {
+  Rng rng(0x5eedc0de);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const ShapeCurve a = random_curve(rng);
+    const ShapeCurve b = random_curve(rng);
+    const ShapeCurve h = ShapeCurve::compose_horizontal(a, b);
+    const ShapeCurve v = ShapeCurve::compose_vertical(a, b);
+    ASSERT_TRUE(is_pareto_sorted(h));
+    ASSERT_TRUE(is_pareto_sorted(v));
+    ASSERT_TRUE(curves_bit_equal(h, ShapeCurve::compose_horizontal_pairwise(a, b)))
+        << "horizontal, trial " << trial;
+    ASSERT_TRUE(curves_bit_equal(v, ShapeCurve::compose_vertical_pairwise(a, b)))
+        << "vertical, trial " << trial;
+  }
+}
+
+TEST(ShapeCurveDifferential, SweepComposeTieHeightsAcrossCurves) {
+  // Both curves hold points at the same height levels: the sweep's
+  // tie-advance (retire both pointers at once) must fire.
+  ShapeCurve a, b;
+  a.add({1, 8});
+  a.add({2, 5});
+  a.add({6, 2});
+  b.add({3, 8});
+  b.add({4, 5});
+  b.add({5, 3});
+  for (auto [sweep, pairwise] :
+       {std::pair{ShapeCurve::compose_horizontal(a, b),
+                  ShapeCurve::compose_horizontal_pairwise(a, b)},
+        std::pair{ShapeCurve::compose_vertical(a, b),
+                  ShapeCurve::compose_vertical_pairwise(a, b)}}) {
+    EXPECT_TRUE(curves_bit_equal(sweep, pairwise));
+  }
+}
+
+TEST(ShapeCurveDifferential, SweepComposeRoundingCollisionKeepsLowerPoint) {
+  // Widths 1 and 1+2^-52 both round to 2^54 when added to it, so two
+  // distinct pairs land on the same composed width; the frontier must
+  // keep only the lower point, exactly like the pairwise oracle.
+  ShapeCurve a;
+  a.add({1.0, 10.0});
+  a.add({1.0 + 0x1p-52, 5.0});
+  const ShapeCurve b = ShapeCurve::for_rect(0x1p54, 1.0, /*rotate=*/false);
+  const ShapeCurve sweep = ShapeCurve::compose_horizontal(a, b);
+  ASSERT_TRUE(curves_bit_equal(sweep, ShapeCurve::compose_horizontal_pairwise(a, b)));
+  ASSERT_EQ(sweep.points().size(), 1u);
+  EXPECT_EQ(sweep.points()[0], (Shape{0x1p54, 5.0}));
+
+  // Transposed case for the vertical sweep (height sums collide).
+  ShapeCurve c;
+  c.add({5.0, 1.0 + 0x1p-52});
+  c.add({10.0, 1.0});
+  const ShapeCurve d = ShapeCurve::for_rect(1.0, 0x1p54, /*rotate=*/false);
+  const ShapeCurve vsweep = ShapeCurve::compose_vertical(c, d);
+  ASSERT_TRUE(curves_bit_equal(vsweep, ShapeCurve::compose_vertical_pairwise(c, d)));
+  ASSERT_EQ(vsweep.points().size(), 1u);
+}
+
+TEST(ShapeCurveDifferential, MergeMatchesPerPointAddOracleBitForBit) {
+  Rng rng(0xa11ce);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const ShapeCurve a = random_curve(rng);
+    const ShapeCurve b = random_curve(rng);
+    ShapeCurve linear = a;
+    linear.merge(b);
+    ShapeCurve oracle = a;
+    for (const Shape& s : b.points()) oracle.add(s);
+    ASSERT_TRUE(is_pareto_sorted(linear));
+    ASSERT_TRUE(curves_bit_equal(linear, oracle)) << "trial " << trial;
+  }
+}
+
+TEST(ShapeCurveDifferential, BestFitMatchesLinearScanOracle) {
+  Rng rng(0xbe57f17);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const ShapeCurve c = random_curve(rng);
+    const double w = rng.next_double(0.5, 60);
+    const double h = rng.next_double(0.5, 60);
+    // The original full linear scan, verbatim.
+    std::optional<Shape> oracle;
+    for (const Shape& s : c.points()) {
+      if (s.w > w + 1e-9) break;
+      if (s.h <= h + 1e-9 && (!oracle || s.area() < oracle->area())) oracle = s;
+    }
+    const auto got = c.best_fit(w, h);
+    ASSERT_EQ(got.has_value(), oracle.has_value()) << "trial " << trial;
+    if (got) {
+      ASSERT_EQ(*got, *oracle) << "trial " << trial;
+    }
+  }
 }
 
 // ---- parameterized property sweep over random curves ---------------------
