@@ -9,6 +9,10 @@
 //   HIDAP_CIRCUITS=c1,c3 -- restrict the suite
 //   HIDAP_THREADS=n -- lanes for the parallel suite driver (default:
 //                   hardware concurrency; results are identical at any n)
+//   HIDAP_LEGACY_ESTIMATES=1 -- pre-scheduler estimate semantics (each
+//                   level's inference sees earlier siblings' refinements;
+//                   sequential recursion). Default: snapshot semantics
+//                   with the task-graph scheduler on.
 
 #include <cmath>
 #include <cstdio>
@@ -31,6 +35,11 @@ inline double env_scale(double fallback) {
 
 inline bool env_fast() {
   const char* s = std::getenv("HIDAP_FAST");
+  return s && std::string(s) != "0";
+}
+
+inline bool env_legacy_estimates() {
+  const char* s = std::getenv("HIDAP_LEGACY_ESTIMATES");
   return s && std::string(s) != "0";
 }
 
@@ -65,6 +74,7 @@ inline FlowOptions bench_flow_options(std::uint64_t seed = 1) {
   o.handfp_seeds = 2;
   o.eval.place.target_clusters = 0;  // auto: sized to the spreading grid
   o.eval.place.solver_iterations = 50;
+  o.hidap.legacy_estimate_order = env_legacy_estimates();
   if (env_fast()) {
     o.hidap.layout_anneal.moves_per_temperature = 40;
     o.hidap.shape_fp.anneal.moves_per_temperature = 30;

@@ -103,9 +103,8 @@ int main() {
   const Declustering dec = hierarchical_declustering(ht, ht.root(), 0.01 * area,
                                                      0.40 * area);
   HiDaPOptions opts;
-  const LevelDataflow flow =
-      infer_level_dataflow(design, ht, context.seq, ht.root(), dec.hcb, {},
-                           std::vector<bool>(design.cell_count(), false), opts);
+  const LevelDataflow flow = infer_level_dataflow(design, ht, context.seq, ht.root(),
+                                                  dec.hcb, EstimateSnapshot{}, opts);
   std::printf("Fig. 2 connection graphs (%zu blocks):\n", dec.hcb.size());
   std::printf("%-12s %-12s %12s %12s\n", "from", "to", "block bits", "macro bits");
   print_rule(52);

@@ -67,8 +67,7 @@ int main() {
     const LevelSnapshot& top = hidap_run.snapshots.front();
     HiDaPOptions opts = fo.hidap;
     const LevelDataflow flow = infer_level_dataflow(
-        design, context.ht, context.seq, top.level, top.blocks, {},
-        std::vector<bool>(design.cell_count(), false), opts);
+        design, context.ht, context.seq, top.level, top.blocks, EstimateSnapshot{}, opts);
     write_gdf_svg(*flow.gdf, flow.affinity, top.block_rects, top.region,
                   dir + "/fig9d_gdf_floorplan.svg");
     std::printf("top-level Gdf: %zu blocks, %zu dataflow edges -> %s/fig9d_gdf_floorplan.svg\n",

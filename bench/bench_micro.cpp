@@ -156,11 +156,10 @@ void BM_DataflowInference(benchmark::State& state) {
   const Declustering dec =
       hierarchical_declustering(ht, ht.root(), 0.01 * area, 0.4 * area);
   const HiDaPOptions opts;
-  const std::vector<Point> est(d.cell_count());
-  const std::vector<bool> has(d.cell_count(), false);
+  const EstimateSnapshot est(d.cell_count());
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        infer_level_dataflow(d, ht, seq, ht.root(), dec.hcb, est, has, opts));
+        infer_level_dataflow(d, ht, seq, ht.root(), dec.hcb, est, opts));
   }
 }
 BENCHMARK(BM_DataflowInference);
@@ -300,6 +299,31 @@ void BM_IncrementalEvaluateNoSplitSkip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IncrementalEvaluateNoSplitSkip)->Arg(8)->Arg(16)->Arg(32);
+
+// Lazy affinity ablation (AnnealOptions::lazy_affinity): the same
+// rejected-move ring with the pair terms reduced through the fixed-shape
+// TermSumTree -- O(log n) per touched pair -- instead of the bit-exact
+// left-to-right re-sum over all terms. The delta against
+// BM_IncrementalEvaluate isolates the reduction cost, which the ROADMAP
+// names as the largest per-move term at n >= 32.
+void BM_IncrementalEvaluateLazyAffinity(benchmark::State& state) {
+  LayoutBenchProblem lp = make_layout_problem(static_cast<int>(state.range(0)));
+  lp.problem.affinity = &lp.affinity;
+  Rng rng(17);
+  PolishExpression base;
+  const std::vector<PolishExpression> ring =
+      make_move_ring(static_cast<int>(lp.problem.blocks.size()), rng, base);
+  IncrementalLayoutEval eval(lp.problem.blocks, lp.problem.region, lp.problem.terminals,
+                             lp.affinity, base, BudgetOptions{}, /*lazy_affinity=*/true);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eval.propose([&](PolishExpression& expr) { expr = ring[k]; }));
+    eval.rollback();
+    k = (k + 1) % ring.size();
+  }
+}
+BENCHMARK(BM_IncrementalEvaluateLazyAffinity)->Arg(8)->Arg(16)->Arg(32);
 
 // Flat-SA objective, full recompute per move (position map + all-pairs
 // overlap) vs the per-net / per-pair delta cache.

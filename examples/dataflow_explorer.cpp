@@ -40,9 +40,8 @@ int main(int argc, char** argv) {
   HiDaPOptions opts;
   opts.lambda = lambda;
   opts.k = k;
-  const LevelDataflow flow = infer_level_dataflow(
-      design, ht, context.seq, ht.root(), dec.hcb, {},
-      std::vector<bool>(design.cell_count(), false), opts);
+  const LevelDataflow flow = infer_level_dataflow(design, ht, context.seq, ht.root(),
+                                                  dec.hcb, EstimateSnapshot{}, opts);
 
   std::printf("\ntop-level blocks (lambda=%.2f, k=%.2f):\n", lambda, k);
   for (std::size_t b = 0; b < dec.hcb.size(); ++b) {

@@ -38,6 +38,9 @@ struct Args {
   int cells = 20000, macros = 24;
   int threads = 0, chains = 1;
   bool incremental = true;
+  bool parallel_levels = true;
+  bool legacy_estimate_order = false;
+  bool lazy_affinity = false;
 };
 
 [[noreturn]] void usage() {
@@ -53,7 +56,16 @@ struct Args {
                "               results are identical at any N, 1 = sequential)\n"
                "  --chains C   independent SA chains per layout, best kept\n"
                "  --no-incremental  full-recompute SA move evaluation (the\n"
-               "               reference oracle; results are identical, only slower)\n");
+               "               reference oracle; results are identical, only slower)\n"
+               "  --no-parallel-levels  run the recursion scheduler as a plain\n"
+               "               sequential DFS (same snapshot estimate semantics;\n"
+               "               results are identical, the scheduler's oracle)\n"
+               "  --legacy-estimate-order  pre-scheduler estimate semantics: each\n"
+               "               level's inference sees earlier siblings' refinements\n"
+               "               (sequential only; a different, golden-pinned result)\n"
+               "  --lazy-affinity  tree-shaped affinity term reduction (O(log n)\n"
+               "               per touched pair; changes SA trajectories in the\n"
+               "               last ulp -- experimental groundwork)\n");
   std::exit(2);
 }
 
@@ -83,6 +95,9 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--threads") args.threads = std::atoi(next().c_str());
     else if (flag == "--chains") args.chains = std::atoi(next().c_str());
     else if (flag == "--no-incremental") args.incremental = false;
+    else if (flag == "--no-parallel-levels") args.parallel_levels = false;
+    else if (flag == "--legacy-estimate-order") args.legacy_estimate_order = true;
+    else if (flag == "--lazy-affinity") args.lazy_affinity = true;
     else usage();
   }
   return args;
@@ -97,8 +112,11 @@ int cmd_place(const Args& args) {
   options.macro_halo = args.halo;
   options.seed = args.seed;
   options.num_threads = args.threads;
+  options.parallel_levels = args.parallel_levels;
+  options.legacy_estimate_order = args.legacy_estimate_order;
   options.layout_anneal.chains = std::max(1, args.chains);
   options.layout_anneal.incremental = args.incremental;
+  options.layout_anneal.lazy_affinity = args.lazy_affinity;
   options.scale_effort(args.effort);
   if (!args.fix.empty()) {
     const DefContents fixed = parse_def_file(args.fix);
@@ -143,8 +161,11 @@ int cmd_flows(const Args& args) {
   FlowOptions options;
   options.seed = args.seed;
   options.hidap.num_threads = args.threads;
+  options.hidap.parallel_levels = args.parallel_levels;
+  options.hidap.legacy_estimate_order = args.legacy_estimate_order;
   options.hidap.layout_anneal.chains = std::max(1, args.chains);
   options.hidap.layout_anneal.incremental = args.incremental;
+  options.hidap.layout_anneal.lazy_affinity = args.lazy_affinity;
   const FlowComparison cmp = compare_flows(design, options);
   ReportTable table({"flow", "WL(m)", "norm", "GRC%", "WNS%", "TNS(ns)", "time(s)"});
   for (const Metrics* m : {&cmp.indeda, &cmp.hidap, &cmp.handfp}) {

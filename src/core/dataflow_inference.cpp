@@ -1,5 +1,6 @@
 #include "core/dataflow_inference.hpp"
 
+#include <cassert>
 #include <unordered_map>
 
 #include "util/log.hpp"
@@ -17,11 +18,34 @@ HtNodeId ht_of_seq(const HierTree& ht, const SeqGraph& seq, SeqNodeId n) {
 
 }  // namespace
 
+Point LevelDataflow::node_center(std::size_t j, const std::vector<Rect>& block_rects) const {
+  assert(block_rects.size() == movable_count);
+  assert(j < movable_count + terminal_positions.size());
+  return j < movable_count ? block_rects[j].center()
+                           : terminal_positions[j - movable_count];
+}
+
+Point LevelDataflow::attraction_point(std::size_t b, const std::vector<Rect>& block_rects,
+                                      const Point& fallback) const {
+  assert(b < movable_count);
+  double weight = 0.0, ax = 0.0, ay = 0.0;
+  for (std::size_t j = 0; j < affinity.size(); ++j) {
+    if (j == b) continue;
+    const double a = affinity.at(b, j);
+    if (a <= 0) continue;
+    const Point pj = node_center(j, block_rects);
+    ax += a * pj.x;
+    ay += a * pj.y;
+    weight += a;
+  }
+  if (weight > 0) return Point{ax / weight, ay / weight};
+  return fallback;
+}
+
 LevelDataflow infer_level_dataflow(const Design& design, const HierTree& ht,
                                    const SeqGraph& seq, HtNodeId nh,
                                    const std::vector<HtNodeId>& hcb,
-                                   const std::vector<Point>& macro_estimate,
-                                   const std::vector<bool>& macro_has_estimate,
+                                   const EstimateSnapshot& estimates,
                                    const HiDaPOptions& options) {
   LevelDataflow out;
   out.gdf = std::make_unique<DataflowGraph>(seq);
@@ -105,13 +129,13 @@ LevelDataflow infer_level_dataflow(const Design& design, const HierTree& ht,
   // Fixed terminals: macros outside nh with a position estimate.
   for (const SeqNodeId m : outside_macros) {
     const CellId cell = seq.node(m).macro_cell;
-    if (!macro_has_estimate[static_cast<std::size_t>(cell)]) continue;
+    if (!estimates.has_estimate(cell)) continue;
     DfNode node;
     node.kind = DfKind::FixedMacros;
     node.name = seq.node(m).base_name;
     node.members = {m};
     node.fixed = true;
-    node.position = macro_estimate[static_cast<std::size_t>(cell)];
+    node.position = estimates.estimate(cell);
     out.terminal_positions.push_back(node.position);
     out.gdf->add_node(std::move(node));
   }

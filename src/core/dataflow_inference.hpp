@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/estimate_store.hpp"
 #include "core/options.hpp"
 #include "dataflow/affinity.hpp"
 #include "dataflow/dataflow_graph.hpp"
@@ -23,17 +24,31 @@ struct LevelDataflow {
   AffinityMatrix affinity{0};
   std::size_t movable_count = 0;
   std::vector<Point> terminal_positions;  ///< gdf node movable_count + i
+
+  /// Center of Gdf node `j` given this level's block rectangles: movable
+  /// nodes (j < movable_count) read the layout rects, fixed terminals
+  /// their stored positions. The single implementation behind every
+  /// attraction computation, so the scheduler and legacy recursion paths
+  /// cannot drift apart on the terminal index offset.
+  Point node_center(std::size_t j, const std::vector<Rect>& block_rects) const;
+
+  /// Affinity-weighted centroid of every Gdf node other than block `b`
+  /// (Algorithm 2, line 11's attraction point for single-macro blocks);
+  /// `fallback` is returned when block b has no positive affinity.
+  Point attraction_point(std::size_t b, const std::vector<Rect>& block_rects,
+                         const Point& fallback) const;
 };
 
-/// `macro_estimate[cell]` / `macro_has_estimate[cell]` give the current
-/// position guess of every macro cell (block centers refined during the
-/// recursion); macros outside nh without an estimate are skipped (only
-/// possible at the first level, where there is no outside).
+/// `estimates` carries the current position guess of every macro cell
+/// (block-center prototypes refined during the recursion). Under
+/// snapshot semantics this is the parent level's committed snapshot;
+/// under the legacy estimate order, the live store at the DFS visit.
+/// Macros outside nh without an estimate are skipped (only possible at
+/// the first level, where there is no outside).
 LevelDataflow infer_level_dataflow(const Design& design, const HierTree& ht,
                                    const SeqGraph& seq, HtNodeId nh,
                                    const std::vector<HtNodeId>& hcb,
-                                   const std::vector<Point>& macro_estimate,
-                                   const std::vector<bool>& macro_has_estimate,
+                                   const EstimateSnapshot& estimates,
                                    const HiDaPOptions& options);
 
 }  // namespace hidap

@@ -1,0 +1,30 @@
+#include "core/estimate_store.hpp"
+
+#include <algorithm>
+
+namespace hidap {
+
+void EstimateStore::reset(const std::vector<MacroPlacement>& preplaced) {
+  std::fill(pos_.begin(), pos_.end(), Point{});
+  std::fill(has_.begin(), has_.end(), 0);
+  std::fill(preplaced_.begin(), preplaced_.end(), 0);
+  std::fill(region_.begin(), region_.end(), Rect{});
+  std::fill(region_valid_.begin(), region_valid_.end(), 0);
+  preplaced_count_ = 0;
+  for (const MacroPlacement& m : preplaced) {
+    const auto i = static_cast<std::size_t>(m.cell);
+    assert(i < pos_.size());
+    pos_[i] = m.rect.center();
+    has_[i] = 1;
+    if (preplaced_[i] == 0) ++preplaced_count_;
+    preplaced_[i] = 1;
+  }
+}
+
+EstimateSnapshot EstimateStore::snapshot() const {
+  // The snapshot representation matches the store's arrays exactly, so a
+  // commit point is two wholesale vector copies.
+  return EstimateSnapshot(pos_, has_);
+}
+
+}  // namespace hidap

@@ -6,9 +6,25 @@
 
 #include "floorplan/annealer.hpp"
 #include "floorplan/incremental_eval.hpp"
+#include "floorplan/term_sum_tree.hpp"
 #include "util/log.hpp"
 
 namespace hidap {
+
+namespace {
+
+std::vector<Point> pair_centers(const LayoutProblem& problem,
+                                const std::vector<Rect>& rects) {
+  const std::size_t n = problem.blocks.size();
+  std::vector<Point> centers(n + problem.terminals.size());
+  for (std::size_t i = 0; i < n; ++i) centers[i] = rects[i].center();
+  for (std::size_t t = 0; t < problem.terminals.size(); ++t) {
+    centers[n + t] = problem.terminals[t];
+  }
+  return centers;
+}
+
+}  // namespace
 
 double layout_connectivity_cost(const LayoutProblem& problem,
                                 const std::vector<Rect>& rects) {
@@ -17,11 +33,7 @@ double layout_connectivity_cost(const LayoutProblem& problem,
   const std::size_t total = n + problem.terminals.size();
   assert(aff.size() == total);
 
-  std::vector<Point> centers(total);
-  for (std::size_t i = 0; i < n; ++i) centers[i] = rects[i].center();
-  for (std::size_t t = 0; t < problem.terminals.size(); ++t) {
-    centers[n + t] = problem.terminals[t];
-  }
+  const std::vector<Point> centers = pair_centers(problem, rects);
   double cost = 0.0;
   for (std::size_t i = 0; i < total; ++i) {
     // Pairs among terminals are constant: skip j >= n when i >= n.
@@ -34,10 +46,32 @@ double layout_connectivity_cost(const LayoutProblem& problem,
   return cost;
 }
 
+double layout_connectivity_cost_tree(const LayoutProblem& problem,
+                                     const std::vector<Rect>& rects) {
+  const AffinityMatrix& aff = *problem.affinity;
+  const std::size_t n = problem.blocks.size();
+  const std::size_t total = n + problem.terminals.size();
+  assert(aff.size() == total);
+
+  // The same positive-pair sequence the linear sum walks (and the
+  // incremental engine caches), reduced through the shared fixed-shape
+  // tree so the engine's O(log n) path updates reproduce it bit for bit.
+  const std::vector<Point> centers = pair_centers(problem, rects);
+  std::vector<double> terms;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < total; ++j) {
+      const double a = aff.at(i, j);
+      if (a > 0) terms.push_back(a * manhattan(centers[i], centers[j]));
+    }
+  }
+  return term_tree_reduce(terms);
+}
+
 double evaluate_layout_full(const LayoutProblem& problem, const PolishExpression& expr,
-                            BudgetResult* out_result) {
+                            BudgetResult* out_result, bool lazy_affinity) {
   BudgetResult res = budget_layout(expr, problem.blocks, problem.region, problem.budget);
-  const double conn = layout_connectivity_cost(problem, res.leaf_rects);
+  const double conn = lazy_affinity ? layout_connectivity_cost_tree(problem, res.leaf_rects)
+                                    : layout_connectivity_cost(problem, res.leaf_rects);
   const double cost = layout_objective(res.violations, conn, problem.region);
   if (out_result) *out_result = std::move(res);
   return cost;
@@ -54,7 +88,7 @@ LayoutSolution optimize_layout(const LayoutProblem& problem,
   if (n == 1) {
     solution.expression = current;
     BudgetResult res;
-    solution.cost = evaluate_layout_full(problem, current, &res);
+    solution.cost = evaluate_layout_full(problem, current, &res, anneal_options.lazy_affinity);
     solution.rects = std::move(res.leaf_rects);
     solution.violations = res.violations;
     return solution;
@@ -81,14 +115,15 @@ LayoutSolution optimize_layout(const LayoutProblem& problem,
     }
   };
   const auto make_chain = [&problem, &states, n, perturb_retry,
-                           incremental = opts.incremental](int c, std::uint64_t seed) {
+                           incremental = opts.incremental,
+                           lazy = opts.lazy_affinity](int c, std::uint64_t seed) {
     ChainState& st = states[static_cast<std::size_t>(c)];
     st.rng.reseed(seed ^ 0x7fb5d329728ea185ULL);
     AnnealChain chain;
     if (incremental) {
       st.inc = std::make_unique<IncrementalLayoutEval>(
           problem.blocks, problem.region, problem.terminals, *problem.affinity,
-          PolishExpression::initial(static_cast<int>(n)), problem.budget);
+          PolishExpression::initial(static_cast<int>(n)), problem.budget, lazy);
       st.best = st.inc->expression();
       chain.initial_cost = st.inc->cost();
       chain.hooks.propose = [&st, perturb_retry]() {
@@ -102,11 +137,11 @@ LayoutSolution optimize_layout(const LayoutProblem& problem,
       st.current = PolishExpression::initial(static_cast<int>(n));
       st.backup = st.current;
       st.best = st.current;
-      chain.initial_cost = evaluate_layout_full(problem, st.current, nullptr);
-      chain.hooks.propose = [&problem, &st, perturb_retry]() {
+      chain.initial_cost = evaluate_layout_full(problem, st.current, nullptr, lazy);
+      chain.hooks.propose = [&problem, &st, perturb_retry, lazy]() {
         st.backup = st.current;
         perturb_retry(st.current, st.rng);
-        return evaluate_layout_full(problem, st.current, nullptr);
+        return evaluate_layout_full(problem, st.current, nullptr, lazy);
       };
       chain.hooks.reject = [&st]() { st.current = st.backup; };
       chain.hooks.on_new_best = [&st](double) { st.best = st.current; };
@@ -119,7 +154,7 @@ LayoutSolution optimize_layout(const LayoutProblem& problem,
   PolishExpression& best = states[static_cast<std::size_t>(winner)].best;
 
   BudgetResult res;
-  solution.cost = evaluate_layout_full(problem, best, &res);
+  solution.cost = evaluate_layout_full(problem, best, &res, opts.lazy_affinity);
   solution.expression = std::move(best);
   solution.rects = std::move(res.leaf_rects);
   solution.violations = res.violations;

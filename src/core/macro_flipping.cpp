@@ -27,7 +27,7 @@ std::array<Orientation, 4> candidates_for(Orientation current) {
 class FlipEvaluator {
  public:
   FlipEvaluator(const Design& design, const HierTree& ht, const std::vector<Rect>& region,
-                const std::vector<bool>& region_valid,
+                const std::vector<std::uint8_t>& region_valid,
                 std::vector<MacroPlacement>& macros)
       : design_(design),
         ht_(ht),
@@ -143,7 +143,7 @@ class FlipEvaluator {
   const Design& design_;
   const HierTree& ht_;
   const std::vector<Rect>& region_;
-  const std::vector<bool>& region_valid_;
+  const std::vector<std::uint8_t>& region_valid_;
   std::vector<MacroPlacement>& macros_;
   std::vector<MacroNet> macro_nets_;
   std::unordered_map<int, std::vector<std::size_t>> nets_of_macro_;
@@ -154,7 +154,7 @@ class FlipEvaluator {
 
 FlippingStats flip_macros(const Design& design, const HierTree& ht,
                           const std::vector<Rect>& region,
-                          const std::vector<bool>& region_valid,
+                          const std::vector<std::uint8_t>& region_valid,
                           std::vector<MacroPlacement>& macros, int max_passes,
                           const std::set<CellId>* skip) {
   FlippingStats stats;

@@ -10,6 +10,7 @@
 // the paper exploits: flipping pays off when a macro's data pins face the
 // logic they talk to.
 
+#include <cstdint>
 #include <set>
 #include <vector>
 
@@ -27,11 +28,13 @@ struct FlippingStats {
 };
 
 /// Mutates `macros` orientations in place. `region`/`region_valid` come
-/// from RecursiveFloorplanner::region_of_node(). Macros in `skip` keep
-/// their orientation (preplaced by the user).
+/// from RecursiveFloorplanner::region_of_node() (one byte per node --
+/// the recursion's sibling-subtree tasks write the flags concurrently,
+/// which std::vector<bool>'s packed bits could not tolerate). Macros in
+/// `skip` keep their orientation (preplaced by the user).
 FlippingStats flip_macros(const Design& design, const HierTree& ht,
                           const std::vector<Rect>& region,
-                          const std::vector<bool>& region_valid,
+                          const std::vector<std::uint8_t>& region_valid,
                           std::vector<MacroPlacement>& macros, int max_passes = 4,
                           const std::set<CellId>* skip = nullptr);
 

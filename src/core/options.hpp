@@ -46,11 +46,26 @@ struct HiDaPOptions {
   std::vector<MacroPlacement> preplaced;
 
   // Task-level parallelism (runtime/thread_pool.hpp): lambda/seed
-  // sweeps, multi-chain SA and the flow comparison shard over the
-  // global pool. 0 = auto (HIDAP_THREADS or hardware concurrency);
-  // 1 reproduces the sequential behavior exactly. Results are
-  // bit-identical at any setting.
+  // sweeps, multi-chain SA, the flow comparison and the recursion
+  // scheduler shard over the global pool. 0 = auto (HIDAP_THREADS or
+  // hardware concurrency); 1 reproduces the sequential behavior
+  // exactly. Results are bit-identical at any setting.
   int num_threads = 0;
+
+  // Hierarchical task-graph scheduler (Algorithm 2's recursion as pool
+  // tasks): independent sibling subtrees anneal concurrently. Under the
+  // snapshot estimate semantics below, siblings are data-independent by
+  // construction, so placements are bit-identical at any thread count;
+  // `false` runs the same snapshot-semantics recursion as a plain
+  // sequential DFS (the differential oracle for the scheduler).
+  bool parallel_levels = true;
+
+  // Pre-scheduler estimate semantics: a level's dataflow inference sees
+  // every refinement already committed by earlier siblings in DFS order
+  // (order-dependent, hence sequential-only). Kept reachable for the
+  // estimate-semantics golden pair and as the bit-exact continuation of
+  // the pre-PR5 flow; overrides parallel_levels when set.
+  bool legacy_estimate_order = false;
 
   std::uint64_t seed = 1;
 

@@ -1,11 +1,16 @@
 #include "core/recursive_floorplan.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <functional>
+#include <iterator>
+#include <utility>
 
 #include "core/decluster.hpp"
 #include "core/layout_optimizer.hpp"
 #include "core/target_area.hpp"
+#include "runtime/thread_pool.hpp"
 #include "util/log.hpp"
 
 namespace hidap {
@@ -18,44 +23,64 @@ RecursiveFloorplanner::RecursiveFloorplanner(const Design& design,
                                              const CellAdjacency& adjacency,
                                              const HierTree& ht, const SeqGraph& seq,
                                              const HiDaPOptions& options)
-    : design_(design), adjacency_(adjacency), ht_(ht), seq_(seq), options_(options) {
+    : design_(design), adjacency_(adjacency), ht_(ht), seq_(seq), options_(options),
+      store_(design.cell_count(), ht.size()) {
   shape_curves_.resize(ht.size());
-  macro_estimate_.assign(design.cell_count(), Point{});
-  macro_has_estimate_.assign(design.cell_count(), false);
-  region_.assign(ht.size(), Rect{});
-  region_valid_.assign(ht.size(), false);
+  plan_.resize(ht.size());
 }
 
 void RecursiveFloorplanner::generate_shape_curves() {
-  // HT ids are ordered parents-before-children (hierarchy nodes in BFS
-  // order, macro leaves appended last), so a descending sweep is
-  // bottom-up.
-  for (std::size_t i = ht_.size(); i-- > 0;) {
+  // A node's curve depends only on its children's, which sit strictly
+  // deeper, so the bottom-up sweep is sharded by tree depth: every rank
+  // runs as one parallel_for over its nodes. Each node derives its SA
+  // seed from its own index and writes only its own curve slot, so the
+  // curves are bit-identical at any thread count (including the old
+  // descending-id sequential sweep).
+  int max_depth = 0;
+  for (std::size_t i = 0; i < ht_.size(); ++i) {
+    if (ht_.node(static_cast<HtNodeId>(i)).subtree_macros > 0) {
+      max_depth = std::max(max_depth, ht_.depth(static_cast<HtNodeId>(i)));
+    }
+  }
+  std::vector<std::vector<HtNodeId>> ranks(static_cast<std::size_t>(max_depth) + 1);
+  for (std::size_t i = 0; i < ht_.size(); ++i) {
     const HtNodeId id = static_cast<HtNodeId>(i);
-    const HtNode& node = ht_.node(id);
-    if (node.subtree_macros == 0) continue;
-    if (node.is_macro_leaf()) {
-      const MacroDef& def = design_.macro_def_of(node.macro_cell);
-      // The halo inflates the footprint the floorplanner must reserve.
-      const double halo2 = 2.0 * options_.macro_halo;
-      shape_curves_[i] =
-          ShapeCurve::for_rect(def.w + halo2, def.h + halo2, /*rotate=*/true);
-      continue;
-    }
-    std::vector<ShapeCurve> child_curves;
-    for (const HtNodeId c : node.children) {
-      if (ht_.macro_count(c) > 0) {
-        child_curves.push_back(shape_curves_[static_cast<std::size_t>(c)]);
-      }
-    }
-    if (child_curves.empty()) continue;  // defensive; cannot happen
-    if (child_curves.size() == 1) {
-      shape_curves_[i] = std::move(child_curves.front());
-      continue;
-    }
-    AreaFloorplanOptions fp = options_.shape_fp;
-    fp.anneal.seed = options_.seed * 0x9e3779b9ULL + i;
-    shape_curves_[i] = pack_shape_curve(child_curves, fp);
+    if (ht_.node(id).subtree_macros == 0) continue;
+    ranks[static_cast<std::size_t>(ht_.depth(id))].push_back(id);
+  }
+  const int lanes = effective_thread_count(options_.num_threads);
+  for (std::size_t d = ranks.size(); d-- > 0;) {
+    const std::vector<HtNodeId>& rank = ranks[d];
+    parallel_for(
+        rank.size(),
+        [&](std::size_t r) {
+          const std::size_t i = static_cast<std::size_t>(rank[r]);
+          const HtNodeId id = rank[r];
+          const HtNode& node = ht_.node(id);
+          if (node.is_macro_leaf()) {
+            const MacroDef& def = design_.macro_def_of(node.macro_cell);
+            // The halo inflates the footprint the floorplanner must reserve.
+            const double halo2 = 2.0 * options_.macro_halo;
+            shape_curves_[i] =
+                ShapeCurve::for_rect(def.w + halo2, def.h + halo2, /*rotate=*/true);
+            return;
+          }
+          std::vector<ShapeCurve> child_curves;
+          for (const HtNodeId c : node.children) {
+            if (ht_.macro_count(c) > 0) {
+              child_curves.push_back(shape_curves_[static_cast<std::size_t>(c)]);
+            }
+          }
+          if (child_curves.empty()) return;  // defensive; cannot happen
+          if (child_curves.size() == 1) {
+            shape_curves_[i] = std::move(child_curves.front());
+            return;
+          }
+          AreaFloorplanOptions fp = options_.shape_fp;
+          fp.anneal.seed = options_.seed * 0x9e3779b9ULL + i;
+          shape_curves_[i] = pack_shape_curve(child_curves, fp);
+        },
+        lanes);
   }
   curves_ready_ = true;
 }
@@ -63,63 +88,105 @@ void RecursiveFloorplanner::generate_shape_curves() {
 PlacementResult RecursiveFloorplanner::run(const Rect& die) {
   if (!curves_ready_) generate_shape_curves();
   result_ = PlacementResult{};
-  preplaced_.clear();
-  for (const MacroPlacement& m : options_.preplaced) {
-    preplaced_.insert(m.cell);
-    result_.macros.push_back(m);
-    macro_estimate_[static_cast<std::size_t>(m.cell)] = m.rect.center();
-    macro_has_estimate_[static_cast<std::size_t>(m.cell)] = true;
-  }
-  region_[static_cast<std::size_t>(ht_.root())] = die;
-  region_valid_[static_cast<std::size_t>(ht_.root())] = true;
+  store_.reset(options_.preplaced);
+  for (const MacroPlacement& m : options_.preplaced) result_.macros.push_back(m);
+  plan_recursion();
+  store_.set_region(ht_.root(), die);
   if (unfixed_macro_count(ht_.root()) > 0) {
-    floorplan_level(ht_.root(), die, 0);
+    // The root's inherited snapshot holds exactly the preplaced macro
+    // positions (the only estimates that exist before the first level).
+    const EstimateSnapshot initial = store_.snapshot();
+    SubtreeResult root;
+    floorplan_level(ht_.root(), die, 0, initial, root);
+    result_.macros.insert(result_.macros.end(),
+                          std::make_move_iterator(root.macros.begin()),
+                          std::make_move_iterator(root.macros.end()));
+    result_.snapshots = std::move(root.snapshots);
   }
   return std::move(result_);
 }
 
 int RecursiveFloorplanner::unfixed_macro_count(HtNodeId node) const {
-  if (preplaced_.empty()) return ht_.macro_count(node);
+  if (store_.preplaced_count() == 0) return ht_.macro_count(node);
   int count = 0;
-  for (const CellId m : ht_.macros_under(node)) count += !preplaced_.count(m);
+  for (const CellId m : ht_.macros_under(node)) count += !store_.is_preplaced(m);
   return count;
 }
 
-void RecursiveFloorplanner::update_estimates(HtNodeId block, const Point& center) {
-  for (const CellId macro : ht_.macros_under(block)) {
-    if (preplaced_.count(macro)) continue;  // engineer-placed: keep exact
-    macro_estimate_[static_cast<std::size_t>(macro)] = center;
-    macro_has_estimate_[static_cast<std::size_t>(macro)] = true;
+// The recursion structure is a pure function of the hierarchy tree, the
+// declustering thresholds and the preplaced set -- never of the evolving
+// estimates -- so the whole schedule is computable before any layout
+// runs. Ordinals are assigned in DFS preorder, exactly the order the
+// legacy sequential DFS incremented its level counter, so anneal seeds
+// are unchanged and independent of execution order.
+void RecursiveFloorplanner::plan_recursion() {
+  for (LevelPlan& p : plan_) p = LevelPlan{};
+  std::uint64_t counter = 0;
+  if (unfixed_macro_count(ht_.root()) > 0) plan_level(ht_.root(), 0, counter);
+}
+
+void RecursiveFloorplanner::plan_level(HtNodeId nh, int depth, std::uint64_t& counter) {
+  LevelPlan& plan = plan_[static_cast<std::size_t>(nh)];
+  plan.planned = true;
+  if (depth > kMaxRecursionDepth) {
+    plan.fallback = true;
+    return;
+  }
+  const double area_nh = ht_.area(nh);
+  Declustering dec = hierarchical_declustering(
+      ht_, nh, options_.open_area_frac * area_nh, options_.min_area_frac * area_nh);
+  if (dec.hcb.empty()) {
+    plan.fallback = true;
+    return;
+  }
+  plan.ordinal = ++counter;
+  plan.hcb = std::move(dec.hcb);
+  for (const HtNodeId block : plan.hcb) {
+    if (unfixed_macro_count(block) > 1) plan_level(block, depth + 1, counter);
   }
 }
 
-void RecursiveFloorplanner::floorplan_level(HtNodeId nh, const Rect& region, int depth) {
-  region_[static_cast<std::size_t>(nh)] = region;
-  region_valid_[static_cast<std::size_t>(nh)] = true;
-  if (depth > kMaxRecursionDepth) {
-    HIDAP_LOG_WARN("recursion depth cap at %s; grid fallback", ht_.path(nh).c_str());
-    fallback_grid_place(nh, region);
+void RecursiveFloorplanner::update_estimates(HtNodeId block, const Point& center,
+                                             EstimateSnapshot* mirror) {
+  for (const CellId macro : ht_.macros_under(block)) {
+    if (store_.is_preplaced(macro)) continue;  // engineer-placed: keep exact
+    store_.set_estimate(macro, center);
+    if (mirror) mirror->set(macro, center);
+  }
+}
+
+void RecursiveFloorplanner::floorplan_level(HtNodeId nh, const Rect& region, int depth,
+                                            const EstimateSnapshot& inherited,
+                                            SubtreeResult& out) {
+  store_.set_region(nh, region);
+  const LevelPlan& plan = plan_[static_cast<std::size_t>(nh)];
+  assert(plan.planned && "floorplan_level on an unplanned node");
+  if (plan.fallback) {
+    if (depth > kMaxRecursionDepth) {
+      HIDAP_LOG_WARN("recursion depth cap at %s; grid fallback", ht_.path(nh).c_str());
+    } else {
+      HIDAP_LOG_WARN("no blocks at level %s", ht_.path(nh).c_str());
+    }
+    fallback_grid_place(nh, region, out);
     return;
   }
+  const std::vector<HtNodeId>& hcb = plan.hcb;
 
-  // --- Algorithm 2, step 3: hierarchical declustering.
-  const double area_nh = ht_.area(nh);
-  const Declustering dec = hierarchical_declustering(
-      ht_, nh, options_.open_area_frac * area_nh, options_.min_area_frac * area_nh);
-  if (dec.hcb.empty()) {
-    HIDAP_LOG_WARN("no blocks at level %s", ht_.path(nh).c_str());
-    fallback_grid_place(nh, region);
-    return;
-  }
+  // --- Algorithm 2, step 4: target area assignment.
+  const TargetAreaResult areas = assign_target_areas(design_, adjacency_, ht_, nh, hcb);
 
-  // --- step 4: target area assignment.
-  const TargetAreaResult areas =
-      assign_target_areas(design_, adjacency_, ht_, nh, dec.hcb);
-
-  // --- step 5: dataflow inference.
+  // --- step 5: dataflow inference. Snapshot semantics anchor every
+  // outside-macro terminal to the parent's committed layout; the legacy
+  // order reads the live store at this (sequential) DFS visit, which
+  // includes the refinements of earlier siblings. The per-level
+  // snapshot() copy that expresses "live" in snapshot vocabulary is
+  // O(cells) but disappears next to the level's anneal (legacy-mode
+  // suite walls match the pre-refactor runs; see BENCH_pr5.json).
+  const bool legacy = options_.legacy_estimate_order;
+  const EstimateSnapshot live = legacy ? store_.snapshot() : EstimateSnapshot{};
+  const EstimateSnapshot& estimates = legacy ? live : inherited;
   const LevelDataflow flow =
-      infer_level_dataflow(design_, ht_, seq_, nh, dec.hcb, macro_estimate_,
-                           macro_has_estimate_, options_);
+      infer_level_dataflow(design_, ht_, seq_, nh, hcb, estimates, options_);
 
   // --- step 6: layout generation.
   LayoutProblem problem;
@@ -127,65 +194,89 @@ void RecursiveFloorplanner::floorplan_level(HtNodeId nh, const Rect& region, int
   problem.terminals = flow.terminal_positions;
   problem.affinity = &flow.affinity;
   problem.num_threads = options_.num_threads;
-  problem.blocks.reserve(dec.hcb.size());
-  for (std::size_t b = 0; b < dec.hcb.size(); ++b) {
+  problem.blocks.reserve(hcb.size());
+  for (std::size_t b = 0; b < hcb.size(); ++b) {
     BudgetBlock block;
-    if (ht_.macro_count(dec.hcb[b]) > 0) {
-      block.gamma = shape_curves_[static_cast<std::size_t>(dec.hcb[b])];
+    if (ht_.macro_count(hcb[b]) > 0) {
+      block.gamma = shape_curves_[static_cast<std::size_t>(hcb[b])];
     }
     block.am = areas.minimum_area[b];
     block.at = areas.target_area[b];
     problem.blocks.push_back(std::move(block));
   }
   AnnealOptions anneal = options_.layout_anneal;
-  anneal.seed = options_.seed * 0xd1342543de82ef95ULL + (++level_counter_);
+  anneal.seed = options_.seed * 0xd1342543de82ef95ULL + plan.ordinal;
   const LayoutSolution layout = optimize_layout(problem, anneal);
 
   // Snapshot for Fig. 1-style visualization.
   LevelSnapshot snap;
   snap.level = nh;
   snap.region = region;
-  snap.blocks = dec.hcb;
+  snap.blocks = hcb;
   snap.block_rects = layout.rects;
   snap.depth = depth;
-  for (const HtNodeId b : dec.hcb) snap.block_macro_counts.push_back(ht_.macro_count(b));
-  result_.snapshots.push_back(std::move(snap));
+  for (const HtNodeId b : hcb) snap.block_macro_counts.push_back(ht_.macro_count(b));
+  out.snapshots.push_back(std::move(snap));
 
-  // First pass: refresh position estimates so siblings and deeper levels
-  // see each other's centers.
-  for (std::size_t b = 0; b < dec.hcb.size(); ++b) {
-    region_[static_cast<std::size_t>(dec.hcb[b])] = layout.rects[b];
-    region_valid_[static_cast<std::size_t>(dec.hcb[b])] = true;
-    if (unfixed_macro_count(dec.hcb[b]) > 0) {
-      update_estimates(dec.hcb[b], layout.rects[b].center());
+  // First pass: commit this level's prototype centers so deeper levels
+  // (and, in legacy order, later siblings) see each block's position.
+  // The child snapshot is the inherited view plus exactly these writes,
+  // shared read-only by every child task -- and only materialized when
+  // some block actually recurses (leaf-most levels skip the copy).
+  const std::size_t nb = hcb.size();
+  std::vector<int> unfixed(nb);
+  bool any_recurse = false;
+  for (std::size_t b = 0; b < nb; ++b) {
+    unfixed[b] = unfixed_macro_count(hcb[b]);
+    any_recurse = any_recurse || unfixed[b] > 1;
+  }
+  EstimateSnapshot child_snap;
+  if (!legacy && any_recurse) child_snap = inherited;
+  EstimateSnapshot* mirror = (legacy || !any_recurse) ? nullptr : &child_snap;
+  for (std::size_t b = 0; b < nb; ++b) {
+    store_.set_region(hcb[b], layout.rects[b]);
+    if (unfixed[b] > 0) {
+      update_estimates(hcb[b], layout.rects[b].center(), mirror);
     }
   }
 
-  // --- steps 7-11: recurse / fix.
-  for (std::size_t b = 0; b < dec.hcb.size(); ++b) {
-    const HtNodeId block = dec.hcb[b];
-    const int macros = unfixed_macro_count(block);
+  // --- steps 7-11: recurse / fix, one slot per block. Every block's
+  // work touches only its own subtree's store slots and its own
+  // fragment, so the scheduler may run the slots in any order.
+  std::vector<SubtreeResult> child(nb);
+  const auto process_block = [&](std::size_t b) {
+    const HtNodeId block = hcb[b];
+    const int macros = unfixed[b];
     if (macros > 1) {
-      floorplan_level(block, layout.rects[b], depth + 1);
+      floorplan_level(block, layout.rects[b], depth + 1, child_snap, child[b]);
     } else if (macros == 1) {
       // Attraction point: affinity-weighted centroid of the other Gdf
       // nodes (movable centers + fixed terminals).
-      const AffinityMatrix& aff = flow.affinity;
-      Point attract{region.center()};
-      double weight = 0.0, ax = 0.0, ay = 0.0;
-      for (std::size_t j = 0; j < aff.size(); ++j) {
-        if (j == b) continue;
-        const double a = aff.at(b, j);
-        if (a <= 0) continue;
-        const Point pj = (j < dec.hcb.size()) ? layout.rects[j].center()
-                                              : flow.terminal_positions[j - dec.hcb.size()];
-        ax += a * pj.x;
-        ay += a * pj.y;
-        weight += a;
-      }
-      if (weight > 0) attract = Point{ax / weight, ay / weight};
-      fix_single_macro(block, layout.rects[b], attract);
+      const Point attract = flow.attraction_point(b, layout.rects, region.center());
+      fix_single_macro(block, layout.rects[b], attract, child[b]);
     }
+  };
+  if (legacy || !options_.parallel_levels) {
+    // Sequential DFS. With snapshot semantics this computes exactly what
+    // the scheduler computes (the differential oracle); with the legacy
+    // order the interleaving is load-bearing and must stay sequential.
+    for (std::size_t b = 0; b < nb; ++b) process_block(b);
+  } else {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(nb);
+    for (std::size_t b = 0; b < nb; ++b) {
+      tasks.push_back([&process_block, b] { process_block(b); });
+    }
+    parallel_invoke(tasks, effective_thread_count(options_.num_threads));
+  }
+
+  // Post-join splice in DFS block order: byte-stable at any thread count.
+  for (std::size_t b = 0; b < nb; ++b) {
+    out.macros.insert(out.macros.end(), std::make_move_iterator(child[b].macros.begin()),
+                      std::make_move_iterator(child[b].macros.end()));
+    out.snapshots.insert(out.snapshots.end(),
+                         std::make_move_iterator(child[b].snapshots.begin()),
+                         std::make_move_iterator(child[b].snapshots.end()));
   }
 }
 
@@ -193,10 +284,10 @@ void RecursiveFloorplanner::floorplan_level(HtNodeId nh, const Rect& region, int
 // attraction point (Algorithm 2, line 11: "fix position in the corner of
 // the available area that minimizes wirelength").
 void RecursiveFloorplanner::fix_single_macro(HtNodeId block, const Rect& rect,
-                                             const Point& attract) {
+                                             const Point& attract, SubtreeResult& out) {
   CellId cell = kInvalidId;
   for (const CellId m : ht_.macros_under(block)) {
-    if (!preplaced_.count(m)) {
+    if (!store_.is_preplaced(m)) {
       cell = m;
       break;
     }
@@ -230,19 +321,18 @@ void RecursiveFloorplanner::fix_single_macro(HtNodeId block, const Rect& rect,
   const auto best = std::min_element(
       candidates.begin(), candidates.end(),
       [](const Candidate& a, const Candidate& b) { return a.cost < b.cost; });
-  result_.macros.push_back(MacroPlacement{cell, best->r, best->o});
-  macro_estimate_[static_cast<std::size_t>(cell)] = best->r.center();
-  macro_has_estimate_[static_cast<std::size_t>(cell)] = true;
-  region_[static_cast<std::size_t>(block)] = best->r;
-  region_valid_[static_cast<std::size_t>(block)] = true;
+  out.macros.push_back(MacroPlacement{cell, best->r, best->o});
+  store_.set_estimate(cell, best->r.center());
+  store_.set_region(block, best->r);
 }
 
 // Defensive fallback: rows of macros across the region. Only reached on
 // degenerate hierarchies (see the depth cap).
-void RecursiveFloorplanner::fallback_grid_place(HtNodeId nh, const Rect& region) {
+void RecursiveFloorplanner::fallback_grid_place(HtNodeId nh, const Rect& region,
+                                               SubtreeResult& out) {
   std::vector<CellId> macros;
   for (const CellId m : ht_.macros_under(nh)) {
-    if (!preplaced_.count(m)) macros.push_back(m);
+    if (!store_.is_preplaced(m)) macros.push_back(m);
   }
   if (macros.empty()) return;
   const int cols = std::max(1, static_cast<int>(std::ceil(std::sqrt(macros.size()))));
@@ -253,10 +343,9 @@ void RecursiveFloorplanner::fallback_grid_place(HtNodeId nh, const Rect& region)
     const int c = static_cast<int>(i) % cols;
     const double x = region.x + region.w * c / cols;
     const double y = region.y + region.h * r / rows;
-    result_.macros.push_back(
+    out.macros.push_back(
         MacroPlacement{macros[i], Rect{x, y, def.w, def.h}, Orientation::R0});
-    macro_estimate_[static_cast<std::size_t>(macros[i])] = Point{x + def.w / 2, y + def.h / 2};
-    macro_has_estimate_[static_cast<std::size_t>(macros[i])] = true;
+    store_.set_estimate(macros[i], Point{x + def.w / 2, y + def.h / 2});
   }
 }
 

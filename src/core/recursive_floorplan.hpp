@@ -1,5 +1,6 @@
 #pragma once
-// Recursive block floorplanning (paper Algorithms 1-2, Fig. 1).
+// Recursive block floorplanning (paper Algorithms 1-2, Fig. 1), run as a
+// hierarchical task graph.
 //
 // The multi-level /\-style flow: at each level the subtree of nh is
 // declustered into blocks, glue area is folded into block target areas,
@@ -7,11 +8,36 @@
 // rectangle to every block. Blocks with more than one macro recurse into
 // their rectangle; single-macro blocks pin their macro into the corner of
 // the rectangle that minimizes attraction distance.
+//
+// Scheduling model (HiDaPOptions::parallel_levels): the recursion is an
+// explicit task graph over runtime::ThreadPool rather than an implicit
+// DFS. Three ingredients make sibling subtrees data-independent, so the
+// scheduler can run them in any order -- including concurrently -- with
+// bit-identical results:
+//
+//  1. Snapshot estimate semantics. Every level's dataflow inference
+//     reads an EstimateSnapshot of its parent's committed layout (the
+//     paper's prototype positions), never the live store; each subtree
+//     writes only its own disjoint macros_under() slots (estimate_store.hpp).
+//  2. Precomputed anneal ordinals. The recursion structure depends only
+//     on the hierarchy tree and the preplaced set, so plan_recursion()
+//     assigns each level its DFS-preorder ordinal up front and seeds are
+//     identical regardless of execution order (they equal the sequential
+//     ++counter seeds of the legacy DFS by construction).
+//  3. Slot-indexed result collection. Each subtree fills a private
+//     SubtreeResult; fragments are spliced in DFS block order after the
+//     join, so PlacementResult is byte-stable at any thread count.
+//
+// parallel_levels = false runs the identical snapshot-semantics
+// computation as a plain sequential DFS -- the differential oracle for
+// the scheduler. legacy_estimate_order = true restores the pre-scheduler
+// behavior (inference sees earlier siblings' refinements; sequential
+// only), kept golden-pinned for comparison.
 
-#include <set>
 #include <vector>
 
 #include "core/dataflow_inference.hpp"
+#include "core/estimate_store.hpp"
 #include "core/options.hpp"
 #include "core/result.hpp"
 #include "dataflow/seq_graph.hpp"
@@ -30,21 +56,44 @@ class RecursiveFloorplanner {
   PlacementResult run(const Rect& die);
 
   /// S_Gamma: per-HT-node macro shape curves (valid after run() or
-  /// generate_shape_curves()).
+  /// generate_shape_curves()). Equal-depth nodes are composed as
+  /// independent pool tasks; curves are bit-identical at any thread
+  /// count (each node is seeded by its own index).
   const std::vector<ShapeCurve>& shape_curves() const { return shape_curves_; }
   void generate_shape_curves();
 
   /// Rectangle assigned to each HT node during the recursion (empty
   /// entries for nodes never floorplanned). Used by macro flipping to
   /// estimate standard-cell positions.
-  const std::vector<Rect>& region_of_node() const { return region_; }
-  const std::vector<bool>& region_valid() const { return region_valid_; }
+  const std::vector<Rect>& region_of_node() const { return store_.region_of_node(); }
+  const std::vector<std::uint8_t>& region_valid() const { return store_.region_valid(); }
 
  private:
-  void floorplan_level(HtNodeId nh, const Rect& region, int depth);
-  void fix_single_macro(HtNodeId block, const Rect& rect, const Point& attract);
-  void update_estimates(HtNodeId block, const Point& center);
-  void fallback_grid_place(HtNodeId nh, const Rect& region);
+  /// Per-level placements produced by one recursion subtree; spliced
+  /// into the parent's fragment in DFS block order after the join.
+  struct SubtreeResult {
+    std::vector<MacroPlacement> macros;
+    std::vector<LevelSnapshot> snapshots;
+  };
+
+  /// Static per-level schedule, computed up front by plan_recursion():
+  /// the declustering (a pure function of ht_ + options) and the level's
+  /// DFS-preorder anneal ordinal.
+  struct LevelPlan {
+    std::vector<HtNodeId> hcb;
+    std::uint64_t ordinal = 0;  ///< 1-based; 0 on fallback levels
+    bool planned = false;
+    bool fallback = false;      ///< empty declustering or depth cap
+  };
+
+  void plan_recursion();
+  void plan_level(HtNodeId nh, int depth, std::uint64_t& counter);
+  void floorplan_level(HtNodeId nh, const Rect& region, int depth,
+                       const EstimateSnapshot& inherited, SubtreeResult& out);
+  void fix_single_macro(HtNodeId block, const Rect& rect, const Point& attract,
+                        SubtreeResult& out);
+  void update_estimates(HtNodeId block, const Point& center, EstimateSnapshot* mirror);
+  void fallback_grid_place(HtNodeId nh, const Rect& region, SubtreeResult& out);
   /// Macros below `node` not preplaced by the user (Algorithm 2's
   /// recursion predicate counts only macros HiDaP still has to place).
   int unfixed_macro_count(HtNodeId node) const;
@@ -56,13 +105,9 @@ class RecursiveFloorplanner {
   HiDaPOptions options_;
 
   std::vector<ShapeCurve> shape_curves_;
-  std::set<CellId> preplaced_;              // engineer-fixed macros
-  std::vector<Point> macro_estimate_;       // per CellId
-  std::vector<bool> macro_has_estimate_;    // per CellId
-  std::vector<Rect> region_;                // per HtNodeId
-  std::vector<bool> region_valid_;          // per HtNodeId
+  EstimateStore store_;
+  std::vector<LevelPlan> plan_;  // per HtNodeId
   PlacementResult result_;
-  std::uint64_t level_counter_ = 0;
   bool curves_ready_ = false;
 };
 

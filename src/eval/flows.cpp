@@ -60,10 +60,10 @@ PlacementResult run_indeda_flow(const Design& design, const PlacementContext& co
   // Industrial floorplanners orient macros too: flip with die-level
   // position estimates for the standard cells.
   std::vector<Rect> region(context.ht.size());
-  std::vector<bool> region_valid(context.ht.size(), false);
+  std::vector<std::uint8_t> region_valid(context.ht.size(), 0);
   region[static_cast<std::size_t>(context.ht.root())] =
       Rect{0, 0, design.die().w, design.die().h};
-  region_valid[static_cast<std::size_t>(context.ht.root())] = true;
+  region_valid[static_cast<std::size_t>(context.ht.root())] = 1;
   flip_macros(design, context.ht, region, region_valid, result.macros,
               options.hidap.flipping_passes);
   return result;

@@ -33,6 +33,16 @@ struct AnnealOptions {
   /// produce bit-identical costs, so the result is the same either way;
   /// the switch exists for differential testing and as an escape hatch.
   bool incremental = true;
+
+  /// Reduce the per-pair affinity cost terms through a fixed-shape
+  /// balanced tree (floorplan/term_sum_tree.hpp) instead of the
+  /// left-to-right re-sum: O(log n) per touched pair instead of O(n) per
+  /// move. The tree's combine order differs from the linear sum in the
+  /// last ulp, so this changes SA trajectories -- both the incremental
+  /// engine AND the full-recompute oracle switch to the tree order
+  /// together, keeping them bit-identical to each other under either
+  /// setting. Default off (groundwork; see the bench_micro ablation).
+  bool lazy_affinity = false;
 };
 
 /// A proposal must undercut the best cost by at least this margin before

@@ -10,9 +10,10 @@ IncrementalLayoutEval::IncrementalLayoutEval(const std::vector<BudgetBlock>& blo
                                              const std::vector<Point>& terminals,
                                              const AffinityMatrix& affinity,
                                              PolishExpression initial,
-                                             const BudgetOptions& options)
+                                             const BudgetOptions& options,
+                                             bool lazy_affinity)
     : blocks_(blocks), region_(region), affinity_(affinity), options_(options),
-      terminal_centers_(terminals) {
+      terminal_centers_(terminals), lazy_affinity_(lazy_affinity) {
   const std::size_t n = blocks.size();
   const std::size_t total = n + terminals.size();
   assert(affinity.size() == total);
@@ -210,28 +211,57 @@ void IncrementalLayoutEval::evaluate_proposed(bool reuse_committed) {
   const auto center_of = [&](std::uint32_t v) -> const Point& {
     return v < n ? proposed_centers_[v] : terminal_centers_[v - n];
   };
-  const auto recompute = [&](std::uint32_t idx) {
+  const auto term_of = [&](std::uint32_t idx) {
     const Pair& pr = pairs_[idx];
-    proposed_terms_[idx] = pr.weight * manhattan(center_of(pr.i), center_of(pr.j));
+    return pr.weight * manhattan(center_of(pr.i), center_of(pr.j));
   };
-  if (reuse_committed) {
-    proposed_terms_ = committed_terms_;
-    for (std::size_t b = 0; b < n; ++b) {
-      if (proposed_centers_[b] == committed_centers_[b]) continue;
-      // A pair with both endpoints moved is recomputed twice; the value
-      // is identical, so the redundancy is harmless.
-      for (const std::uint32_t idx : block_pairs_[b]) recompute(idx);
-    }
-  } else {
-    proposed_terms_.resize(pairs_.size());
-    for (std::uint32_t idx = 0; idx < pairs_.size(); ++idx) recompute(idx);
-  }
-
-  // Left-to-right reduction in the oracle's pair order: the same sequence
-  // of additions layout_connectivity_cost() performs over its positive
-  // terms, so the sum is bit-identical.
   double connectivity = 0.0;
-  for (const double t : proposed_terms_) connectivity += t;
+  if (lazy_affinity_) {
+    // Lazy reduction: terms live as TermSumTree leaves; a touched pair
+    // costs one leaf overwrite plus its O(log n) root path, and the
+    // total is read off the root -- no per-move term copy or re-sum.
+    // The old leaf values go to the undo log so rollback() can restore
+    // the committed tree bit-exactly.
+    if (reuse_committed) {
+      assert(term_undo_.empty());
+      for (std::size_t b = 0; b < n; ++b) {
+        if (proposed_centers_[b] == committed_centers_[b]) continue;
+        // A pair with both endpoints moved is set twice with the same
+        // value; the second undo entry replays harmlessly in reverse.
+        for (const std::uint32_t idx : block_pairs_[b]) {
+          term_undo_.emplace_back(idx, term_tree_.leaf(idx));
+          term_tree_.set(idx, term_of(idx));
+        }
+      }
+    } else {
+      // Constructor-time build. The terms live in the tree from here on;
+      // committed_terms_/proposed_terms_ stay empty in lazy mode so no
+      // reader can pick up stale values (and commit()'s swap is a no-op).
+      std::vector<double> terms(pairs_.size());
+      for (std::uint32_t idx = 0; idx < pairs_.size(); ++idx) terms[idx] = term_of(idx);
+      term_tree_.reset(terms);
+    }
+    connectivity = term_tree_.total();
+  } else {
+    const auto recompute = [&](std::uint32_t idx) { proposed_terms_[idx] = term_of(idx); };
+    if (reuse_committed) {
+      proposed_terms_ = committed_terms_;
+      for (std::size_t b = 0; b < n; ++b) {
+        if (proposed_centers_[b] == committed_centers_[b]) continue;
+        // A pair with both endpoints moved is recomputed twice; the value
+        // is identical, so the redundancy is harmless.
+        for (const std::uint32_t idx : block_pairs_[b]) recompute(idx);
+      }
+    } else {
+      proposed_terms_.resize(pairs_.size());
+      for (std::uint32_t idx = 0; idx < pairs_.size(); ++idx) recompute(idx);
+    }
+
+    // Left-to-right reduction in the oracle's pair order: the same
+    // sequence of additions layout_connectivity_cost() performs over its
+    // positive terms, so the sum is bit-identical.
+    for (const double t : proposed_terms_) connectivity += t;
+  }
 
   proposed_cost_ = layout_objective(proposed_layout_.violations, connectivity, region_);
 }
@@ -281,12 +311,20 @@ void IncrementalLayoutEval::commit() {
   std::swap(committed_layout_, proposed_layout_);
   std::swap(committed_centers_, proposed_centers_);
   std::swap(committed_terms_, proposed_terms_);
+  term_undo_.clear();  // lazy mode: the updated tree leaves become committed
   committed_cost_ = proposed_cost_;
   pending_ = false;
 }
 
 void IncrementalLayoutEval::rollback() {
   assert(pending_ && "rollback() without a pending proposal");
+  // Lazy mode: restore the committed tree by replaying the overwritten
+  // leaves in reverse (path sums are pure functions of the leaves, so
+  // this lands bit-exactly on the pre-proposal state).
+  for (std::size_t k = term_undo_.size(); k-- > 0;) {
+    term_tree_.set(term_undo_[k].first, term_undo_[k].second);
+  }
+  term_undo_.clear();
   pending_ = false;
 }
 

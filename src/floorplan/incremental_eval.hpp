@@ -37,11 +37,13 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dataflow/affinity.hpp"
 #include "floorplan/budget_layout.hpp"
 #include "floorplan/polish_expression.hpp"
+#include "floorplan/term_sum_tree.hpp"
 #include "geometry/geometry.hpp"
 
 namespace hidap {
@@ -51,9 +53,14 @@ class IncrementalLayoutEval {
   /// The referenced blocks / terminals / affinity must outlive this
   /// object. `affinity` is indexed like layout_connectivity_cost(): rows
   /// 0..blocks-1 are the movable blocks, rows blocks.. are terminals.
+  /// `lazy_affinity` reduces the cached pair terms through the
+  /// fixed-shape TermSumTree (O(log n) per touched pair) instead of the
+  /// left-to-right re-sum; the matching oracle is
+  /// evaluate_layout_full(..., lazy_affinity = true).
   IncrementalLayoutEval(const std::vector<BudgetBlock>& blocks, const Rect& region,
                         const std::vector<Point>& terminals, const AffinityMatrix& affinity,
-                        PolishExpression initial, const BudgetOptions& options = {});
+                        PolishExpression initial, const BudgetOptions& options = {},
+                        bool lazy_affinity = false);
 
   /// Copies the committed expression, lets `mutate` perturb it, and
   /// re-evaluates incrementally, returning the proposal's cost. Exactly
@@ -95,6 +102,16 @@ class IncrementalLayoutEval {
   };
   std::vector<Pair> pairs_;
   std::vector<std::vector<std::uint32_t>> block_pairs_;  ///< block id -> pair indices
+
+  /// Lazy affinity reduction (AnnealOptions::lazy_affinity): the pair
+  /// terms live in a fixed-shape balanced tree; propose() overwrites the
+  /// touched leaves (logging the old values), rollback() replays the log
+  /// in reverse, commit() discards it. Tree node values are pure
+  /// functions of the leaves, so the incrementally maintained total is
+  /// bit-identical to the oracle's fresh term_tree_reduce().
+  bool lazy_affinity_ = false;
+  TermSumTree term_tree_;
+  std::vector<std::pair<std::uint32_t, double>> term_undo_;
 
   // Committed state. `infos_[p]` characterizes the committed subtree
   // ending at element position p; `ids_[p]` is its value-provenance id

@@ -1,0 +1,67 @@
+#pragma once
+// Fixed-shape balanced reduction tree over per-pair cost terms.
+//
+// The layout objective's connectivity component is a sum of per-affinity-
+// pair terms. The incremental engine caches the terms, but a bit-exact
+// left-to-right re-sum still costs O(n) additions per move -- the largest
+// per-move term at n >= 32 pairs (ROADMAP "lazier affinity term
+// reduction"). This tree fixes the combine order to a complete binary
+// tree over the term slots instead: updating one term recomputes only the
+// O(log n) partial sums on its root path, and the total is read off the
+// root.
+//
+// Determinism contract: every internal node is the IEEE sum of its two
+// children, and the shape depends only on the term count -- so the total
+// after any sequence of set() calls is bit-identical to reset() from the
+// same leaf values, and a full rebuild (the oracle) matches an
+// incremental engine that applied the same updates. Unused padding slots
+// hold +0.0, and terms are never negative zero (weight * distance with
+// weight > 0), so padding adds are exact identities.
+
+#include <cstddef>
+#include <vector>
+
+namespace hidap {
+
+class TermSumTree {
+ public:
+  /// Rebuilds the tree over `terms` (the oracle path, and the engine's
+  /// initial state).
+  void reset(const std::vector<double>& terms) {
+    n_ = terms.size();
+    cap_ = 1;
+    while (cap_ < n_) cap_ <<= 1;
+    tree_.assign(2 * cap_, 0.0);
+    for (std::size_t i = 0; i < n_; ++i) tree_[cap_ + i] = terms[i];
+    for (std::size_t k = cap_; k-- > 1;) tree_[k] = tree_[2 * k] + tree_[2 * k + 1];
+  }
+
+  std::size_t size() const { return n_; }
+
+  double leaf(std::size_t i) const { return tree_[cap_ + i]; }
+
+  /// Overwrites term i and recomputes its root path: O(log n).
+  void set(std::size_t i, double v) {
+    std::size_t p = cap_ + i;
+    tree_[p] = v;
+    for (p >>= 1; p >= 1; p >>= 1) tree_[p] = tree_[2 * p] + tree_[2 * p + 1];
+  }
+
+  /// The tree-ordered total (0.0 for an empty term list, matching the
+  /// empty left-to-right sum).
+  double total() const { return n_ == 0 ? 0.0 : tree_[1]; }
+
+ private:
+  std::vector<double> tree_;  ///< 2*cap_ slots; leaves at [cap_, cap_+n_)
+  std::size_t cap_ = 0;
+  std::size_t n_ = 0;
+};
+
+/// The oracle-side reduction: same shape, built fresh from the terms.
+inline double term_tree_reduce(const std::vector<double>& terms) {
+  TermSumTree t;
+  t.reset(terms);
+  return t.total();
+}
+
+}  // namespace hidap

@@ -45,6 +45,11 @@ class HierTree {
   double area(HtNodeId id) const { return node(id).subtree_area; }
   int macro_count(HtNodeId id) const { return node(id).subtree_macros; }
 
+  /// Distance from the root (root = 0). A node's curve/aggregate depends
+  /// only on strictly deeper nodes, so equal-depth nodes are independent
+  /// units of work for bottom-up sweeps.
+  int depth(HtNodeId id) const { return depth_[static_cast<std::size_t>(id)]; }
+
   /// All macro cells in the subtree of `id`.
   std::vector<CellId> macros_under(HtNodeId id) const;
 

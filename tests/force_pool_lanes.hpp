@@ -1,0 +1,21 @@
+#pragma once
+// Shared test helper: force an 8-lane global thread pool before its
+// first use so suites that exercise the parallel scheduler genuinely
+// thread, even on single-core CI runners (oversubscription is fine --
+// the bit-identity contracts must not depend on the host's core
+// count). An explicit HIDAP_THREADS wins, so CI legs like the TSan
+// `ctest -L scheduler` run at 4 lanes actually get 4. Call from a
+// namespace-scope initializer, before anything touches the pool.
+
+#include <cstdlib>
+
+#include "runtime/thread_pool.hpp"
+
+namespace hidap::test_support {
+
+inline int force_pool_lanes() {
+  if (!std::getenv("HIDAP_THREADS")) ThreadPool::set_default_thread_count(8);
+  return ThreadPool::default_thread_count();
+}
+
+}  // namespace hidap::test_support

@@ -24,13 +24,10 @@ struct Fixture {
   }
 
   LevelDataflow infer(HtNodeId nh, const std::vector<HtNodeId>& hcb,
-                      const std::vector<Point>* est = nullptr,
-                      const std::vector<bool>* has = nullptr) const {
-    static const std::vector<Point> no_est;
-    std::vector<Point> e = est ? *est : std::vector<Point>(d.cell_count());
-    std::vector<bool> h = has ? *has : std::vector<bool>(d.cell_count(), false);
+                      const EstimateSnapshot* est = nullptr) const {
     HiDaPOptions opts;
-    return infer_level_dataflow(d, ctx.ht, ctx.seq, nh, hcb, e, h, opts);
+    return infer_level_dataflow(d, ctx.ht, ctx.seq, nh, hcb,
+                                est ? *est : EstimateSnapshot{}, opts);
   }
 };
 
@@ -127,9 +124,11 @@ TEST(DataflowInference, OutsideMacrosNeedEstimates) {
   }
   EXPECT_EQ(fixed_macros_without, 0);
 
-  std::vector<Point> est(fx.d.cell_count(), Point{100, 100});
-  std::vector<bool> has(fx.d.cell_count(), true);
-  const LevelDataflow with = fx.infer(ss0, inner.hcb, &est, &has);
+  EstimateSnapshot est(fx.d.cell_count());
+  for (std::size_t c = 0; c < fx.d.cell_count(); ++c) {
+    est.set(static_cast<CellId>(c), Point{100, 100});
+  }
+  const LevelDataflow with = fx.infer(ss0, inner.hcb, &est);
   int fixed_macros_with = 0;
   for (const DfNode& n : with.gdf->nodes()) {
     fixed_macros_with += (n.kind == DfKind::FixedMacros);

@@ -1,0 +1,162 @@
+// EstimateStore / EstimateSnapshot tests: snapshot isolation, preplaced
+// immutability, region bookkeeping, and the randomized disjoint-write
+// property the task-graph scheduler's safety rests on -- concurrent
+// writers touching disjoint slot sets produce exactly the state a
+// sequential application of the same writes produces, and never disturb
+// a previously taken snapshot.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/estimate_store.hpp"
+#include "force_pool_lanes.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace hidap {
+namespace {
+
+// 8-lane pool (or HIDAP_THREADS) so the disjoint-write property test
+// genuinely runs its writers concurrently; see force_pool_lanes.hpp.
+const int kForcedPoolLanes = test_support::force_pool_lanes();
+
+MacroPlacement placed(CellId cell, double x, double y, double w = 4, double h = 2) {
+  return MacroPlacement{cell, Rect{x, y, w, h}, Orientation::R0};
+}
+
+TEST(EstimateSnapshot, EmptySnapshotHasNoEstimates) {
+  const EstimateSnapshot snap;
+  EXPECT_EQ(snap.cell_count(), 0u);
+  EXPECT_FALSE(snap.has_estimate(0));
+  EXPECT_FALSE(snap.has_estimate(123));
+}
+
+TEST(EstimateSnapshot, SetAndRead) {
+  EstimateSnapshot snap(8);
+  EXPECT_FALSE(snap.has_estimate(3));
+  snap.set(3, Point{1.5, -2.0});
+  ASSERT_TRUE(snap.has_estimate(3));
+  EXPECT_EQ(snap.estimate(3), (Point{1.5, -2.0}));
+  EXPECT_FALSE(snap.has_estimate(2));
+}
+
+TEST(EstimateStore, ResetSeedsPreplacedEstimates) {
+  EstimateStore store(10, 4);
+  store.reset({placed(2, 10, 20), placed(7, 0, 0, 6, 6)});
+  EXPECT_EQ(store.preplaced_count(), 2);
+  EXPECT_TRUE(store.is_preplaced(2));
+  EXPECT_TRUE(store.is_preplaced(7));
+  EXPECT_FALSE(store.is_preplaced(0));
+  ASSERT_TRUE(store.has_estimate(2));
+  EXPECT_EQ(store.estimate(2), (Point{12, 21}));  // rect center
+  EXPECT_EQ(store.estimate(7), (Point{3, 3}));
+  EXPECT_FALSE(store.has_estimate(0));
+
+  // A second reset drops everything from the first.
+  store.reset({});
+  EXPECT_EQ(store.preplaced_count(), 0);
+  EXPECT_FALSE(store.has_estimate(2));
+  EXPECT_FALSE(store.is_preplaced(7));
+}
+
+TEST(EstimateStore, SnapshotIsIsolatedFromLaterWrites) {
+  EstimateStore store(6, 2);
+  store.reset({});
+  store.set_estimate(1, Point{5, 5});
+  const EstimateSnapshot snap = store.snapshot();
+  ASSERT_TRUE(snap.has_estimate(1));
+  EXPECT_EQ(snap.estimate(1), (Point{5, 5}));
+
+  store.set_estimate(1, Point{9, 9});
+  store.set_estimate(4, Point{2, 3});
+  // The snapshot still sees the state as of its commit point.
+  EXPECT_EQ(snap.estimate(1), (Point{5, 5}));
+  EXPECT_FALSE(snap.has_estimate(4));
+  // ... while the live store moved on.
+  EXPECT_EQ(store.estimate(1), (Point{9, 9}));
+  EXPECT_TRUE(store.has_estimate(4));
+}
+
+TEST(EstimateStore, RegionSlots) {
+  EstimateStore store(1, 5);
+  store.reset({});
+  EXPECT_EQ(store.region_valid()[3], 0);
+  store.set_region(3, Rect{1, 2, 3, 4});
+  EXPECT_EQ(store.region_valid()[3], 1);
+  EXPECT_EQ(store.region_of_node()[3], (Rect{1, 2, 3, 4}));
+  EXPECT_EQ(store.region_valid()[0], 0);
+}
+
+// The scheduler's safety argument, stated as a property test: partition
+// the cell slots into one disjoint group per task, run every task's
+// write sequence concurrently on the pool, and the final store state
+// must equal a sequential replay of the same writes -- while a snapshot
+// taken before the fan-out stays bit-identical to its commit point.
+TEST(EstimateStore, RandomizedDisjointParallelWritesMatchSequential) {
+  for (const std::uint64_t trial_seed : {11u, 23u, 47u}) {
+    Rng setup(trial_seed);
+    const std::size_t cells = 257;   // deliberately not a power of two
+    const std::size_t groups = 16;   // one writer task per group
+    EstimateStore parallel_store(cells, 1);
+    EstimateStore sequential_store(cells, 1);
+    parallel_store.reset({});
+    sequential_store.reset({});
+
+    // Pre-writes visible to the snapshot.
+    for (int k = 0; k < 40; ++k) {
+      const CellId cell = static_cast<CellId>(setup.next_below(cells));
+      const Point p{setup.next_double(0, 100), setup.next_double(0, 100)};
+      parallel_store.set_estimate(cell, p);
+      sequential_store.set_estimate(cell, p);
+    }
+    const EstimateSnapshot before = parallel_store.snapshot();
+    const EstimateSnapshot before_copy = before;  // reference values
+
+    // Each slot belongs to group (slot % groups): disjoint by
+    // construction. Every task derives its writes from its own seed, so
+    // the parallel and sequential replays see identical sequences.
+    const auto writes_of_group = [&](std::size_t g) {
+      std::vector<std::pair<CellId, Point>> w;
+      Rng rng(derive_task_seed(trial_seed, g));
+      const int count = 20 + rng.next_int(0, 30);
+      const std::size_t group_slots = (cells - g + groups - 1) / groups;
+      for (int k = 0; k < count; ++k) {
+        const std::size_t owned = g + groups * rng.next_below(group_slots);
+        w.emplace_back(static_cast<CellId>(owned),
+                       Point{rng.next_double(-50, 50), rng.next_double(-50, 50)});
+      }
+      return w;
+    };
+
+    ASSERT_EQ(ThreadPool::global().size(), kForcedPoolLanes);
+    parallel_for(groups, [&](std::size_t g) {
+      for (const auto& [cell, p] : writes_of_group(g)) {
+        parallel_store.set_estimate(cell, p);
+      }
+    });
+    for (std::size_t g = 0; g < groups; ++g) {
+      for (const auto& [cell, p] : writes_of_group(g)) {
+        sequential_store.set_estimate(cell, p);
+      }
+    }
+
+    for (std::size_t c = 0; c < cells; ++c) {
+      const CellId cell = static_cast<CellId>(c);
+      ASSERT_EQ(parallel_store.has_estimate(cell), sequential_store.has_estimate(cell))
+          << "cell " << c << " trial " << trial_seed;
+      if (parallel_store.has_estimate(cell)) {
+        EXPECT_EQ(parallel_store.estimate(cell), sequential_store.estimate(cell))
+            << "cell " << c << " trial " << trial_seed;
+      }
+      // Snapshot isolation: the pre-fan-out snapshot is untouched.
+      ASSERT_EQ(before.has_estimate(cell), before_copy.has_estimate(cell));
+      if (before.has_estimate(cell)) {
+        EXPECT_EQ(before.estimate(cell), before_copy.estimate(cell));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hidap

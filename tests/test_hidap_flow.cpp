@@ -1,14 +1,23 @@
 // End-to-end HiDaP flow tests on generated circuits: legality, recursion
-// snapshots, determinism, lambda sensitivity.
+// snapshots, determinism, lambda sensitivity, and the task-graph
+// scheduler's bit-identity contracts (thread-count invariance, the
+// sequential snapshot oracle, the estimate-semantics golden pair).
 
 #include <gtest/gtest.h>
 
 #include "core/hidap.hpp"
+#include "core/recursive_floorplan.hpp"
+#include "force_pool_lanes.hpp"
 #include "gen/suite.hpp"
+#include "runtime/thread_pool.hpp"
 #include "util/log.hpp"
 
 namespace hidap {
 namespace {
+
+// 8-lane pool (or HIDAP_THREADS) so the scheduler's sibling-subtree
+// tasks genuinely interleave; see force_pool_lanes.hpp.
+const int kForcedPoolLanes = test_support::force_pool_lanes();
 
 HiDaPOptions quick_options(std::uint64_t seed = 1) {
   HiDaPOptions o;
@@ -98,6 +107,112 @@ TEST_F(HidapFlowTest, RuntimeIsRecorded) {
   const PlacementResult result = place_macros(*design_, *context_, quick_options());
   EXPECT_GT(result.runtime_seconds, 0.0);
   EXPECT_EQ(result.flow_name, "HiDaP");
+}
+
+void expect_identical(const PlacementResult& a, const PlacementResult& b) {
+  ASSERT_EQ(a.macros.size(), b.macros.size());
+  for (std::size_t i = 0; i < a.macros.size(); ++i) {
+    EXPECT_EQ(a.macros[i].cell, b.macros[i].cell) << "macro " << i;
+    EXPECT_EQ(a.macros[i].rect, b.macros[i].rect) << "macro " << i;
+    EXPECT_EQ(a.macros[i].orientation, b.macros[i].orientation) << "macro " << i;
+  }
+  ASSERT_EQ(a.snapshots.size(), b.snapshots.size());
+  for (std::size_t s = 0; s < a.snapshots.size(); ++s) {
+    EXPECT_EQ(a.snapshots[s].level, b.snapshots[s].level) << "snapshot " << s;
+    EXPECT_EQ(a.snapshots[s].depth, b.snapshots[s].depth) << "snapshot " << s;
+    EXPECT_EQ(a.snapshots[s].blocks, b.snapshots[s].blocks) << "snapshot " << s;
+    ASSERT_EQ(a.snapshots[s].block_rects.size(), b.snapshots[s].block_rects.size());
+    for (std::size_t r = 0; r < a.snapshots[s].block_rects.size(); ++r) {
+      EXPECT_EQ(a.snapshots[s].block_rects[r], b.snapshots[s].block_rects[r])
+          << "snapshot " << s << " rect " << r;
+    }
+  }
+}
+
+TEST_F(HidapFlowTest, SchedulerThreadCountInvariance) {
+  // Sibling-subtree anneals run as pool tasks; placements, snapshots and
+  // their order must be byte-stable across lane caps (kForcedPoolLanes
+  // guarantees the 8-lane run genuinely threads).
+  ASSERT_EQ(ThreadPool::default_thread_count(), kForcedPoolLanes);
+  HiDaPOptions serial = quick_options(5);
+  serial.num_threads = 1;
+  HiDaPOptions wide = quick_options(5);
+  wide.num_threads = 8;
+  const PlacementResult a = place_macros(*design_, *context_, serial);
+  const PlacementResult b = place_macros(*design_, *context_, wide);
+  expect_identical(a, b);
+  HiDaPOptions mid = quick_options(5);
+  mid.num_threads = 4;
+  expect_identical(a, place_macros(*design_, *context_, mid));
+}
+
+TEST_F(HidapFlowTest, SchedulerMatchesSequentialOracle) {
+  // parallel_levels = false runs the identical snapshot-semantics
+  // recursion as a plain DFS -- the scheduler's differential oracle.
+  HiDaPOptions scheduled = quick_options(7);
+  scheduled.num_threads = 8;
+  HiDaPOptions oracle = quick_options(7);
+  oracle.parallel_levels = false;
+  expect_identical(place_macros(*design_, *context_, oracle),
+                   place_macros(*design_, *context_, scheduled));
+}
+
+TEST_F(HidapFlowTest, EstimateSemanticsGoldenPair) {
+  // Snapshot semantics (default) and the legacy DFS-refinement order are
+  // both deterministic, both legal, and genuinely distinct: on this
+  // fixture the two modes disagree on at least one macro rectangle for
+  // every seed we pin (guards against either flag degenerating into a
+  // no-op alias of the other).
+  HiDaPOptions snapshot = quick_options(5);
+  HiDaPOptions legacy = quick_options(5);
+  legacy.legacy_estimate_order = true;
+  const PlacementResult snap_a = place_macros(*design_, *context_, snapshot);
+  const PlacementResult snap_b = place_macros(*design_, *context_, snapshot);
+  const PlacementResult leg_a = place_macros(*design_, *context_, legacy);
+  const PlacementResult leg_b = place_macros(*design_, *context_, legacy);
+  expect_identical(snap_a, snap_b);
+  expect_identical(leg_a, leg_b);
+  const Rect die{0, 0, design_->die().w, design_->die().h};
+  for (const PlacementResult* r : {&snap_a, &leg_a}) {
+    const PlacementCheck check = check_placement(*design_, *r, die);
+    EXPECT_TRUE(check.all_macros_placed);
+    EXPECT_TRUE(check.all_inside_die);
+  }
+  ASSERT_EQ(snap_a.macros.size(), leg_a.macros.size());
+  bool any_differs = false;
+  for (std::size_t i = 0; i < snap_a.macros.size(); ++i) {
+    if (!(snap_a.macros[i].rect == leg_a.macros[i].rect)) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs) << "legacy estimate order produced the snapshot placement";
+}
+
+TEST_F(HidapFlowTest, ShapeCurvesThreadCountIdentity) {
+  // generate_shape_curves shards every depth rank over the pool; each
+  // node seeds from its own index, so the curves are bit-identical at
+  // any thread count.
+  HiDaPOptions serial = quick_options(3);
+  serial.num_threads = 1;
+  HiDaPOptions wide = quick_options(3);
+  wide.num_threads = 8;
+  RecursiveFloorplanner a(*design_, context_->adjacency, context_->ht, context_->seq,
+                          serial);
+  RecursiveFloorplanner b(*design_, context_->adjacency, context_->ht, context_->seq,
+                          wide);
+  a.generate_shape_curves();
+  b.generate_shape_curves();
+  ASSERT_EQ(a.shape_curves().size(), b.shape_curves().size());
+  std::size_t nonempty = 0;
+  for (std::size_t i = 0; i < a.shape_curves().size(); ++i) {
+    const auto& pa = a.shape_curves()[i].points();
+    const auto& pb = b.shape_curves()[i].points();
+    ASSERT_EQ(pa.size(), pb.size()) << "curve " << i;
+    nonempty += !pa.empty();
+    for (std::size_t p = 0; p < pa.size(); ++p) {
+      EXPECT_EQ(pa[p].w, pb[p].w) << "curve " << i << " point " << p;
+      EXPECT_EQ(pa[p].h, pb[p].h) << "curve " << i << " point " << p;
+    }
+  }
+  EXPECT_GT(nonempty, 0u);
 }
 
 TEST(HidapFlowErrors, NoMacrosRejected) {

@@ -174,6 +174,60 @@ TEST(IncrementalLayoutEval, SplitSkippingWalkMatchesNoSkipWalkBitForBit) {
   }
 }
 
+TEST(IncrementalLayoutEval, LazyAffinityWalkMatchesTreeOracleBitForBit) {
+  // AnnealOptions::lazy_affinity swaps the left-to-right term re-sum for
+  // O(log n) path updates in the fixed-shape TermSumTree. The matching
+  // oracle reduces a freshly built term list through the same tree
+  // shape; engine and oracle must agree bit for bit on every proposal
+  // and every committed state, including across rejected-move rollbacks
+  // (which replay the overwritten leaves in reverse).
+  set_log_level(LogLevel::Warn);
+  for (std::uint64_t problem_seed = 30; problem_seed <= 36; ++problem_seed) {
+    GeneratedProblem g = make_problem(problem_seed);
+    g.problem.affinity = &g.affinity;
+    const int n = static_cast<int>(g.blocks.size());
+    IncrementalLayoutEval eval(g.problem.blocks, g.problem.region, g.problem.terminals,
+                               *g.problem.affinity, PolishExpression::initial(n),
+                               BudgetOptions{}, /*lazy_affinity=*/true);
+    ASSERT_EQ(eval.cost(),
+              evaluate_layout_full(g.problem, eval.expression(), nullptr, true));
+
+    Rng rng(problem_seed * 6151 + 11);
+    for (int step = 0; step < 250; ++step) {
+      const double inc_cost = eval.propose([&rng](PolishExpression& expr) {
+        for (int tries = 0; tries < 8; ++tries) {
+          if (expr.perturb(rng)) break;
+        }
+      });
+      const double oracle =
+          evaluate_layout_full(g.problem, eval.proposed_expression(), nullptr, true);
+      ASSERT_EQ(inc_cost, oracle) << "problem " << problem_seed << " step " << step;
+      if (rng.next_bool(0.6)) {
+        eval.commit();
+      } else {
+        eval.rollback();
+      }
+      ASSERT_EQ(eval.cost(),
+                evaluate_layout_full(g.problem, eval.expression(), nullptr, true))
+          << "problem " << problem_seed << " step " << step;
+    }
+  }
+}
+
+TEST(IncrementalLayoutEval, TreeAndLinearReductionsAgreeWithinTolerance) {
+  // The two combine orders may differ only in accumulated rounding:
+  // sanity-bound the drift so a tree-shape bug (dropped or duplicated
+  // term) cannot hide behind the "last ulp" framing.
+  GeneratedProblem g = make_problem(33);
+  g.problem.affinity = &g.affinity;
+  const int n = static_cast<int>(g.blocks.size());
+  const PolishExpression expr = PolishExpression::initial(n);
+  BudgetResult res;
+  const double linear = evaluate_layout_full(g.problem, expr, &res, false);
+  const double tree = evaluate_layout_full(g.problem, expr, nullptr, true);
+  EXPECT_NEAR(tree, linear, 1e-9 * std::max(1.0, std::abs(linear)));
+}
+
 TEST(IncrementalLayoutEval, RepeatedRollbacksLeaveCommittedStateIntact) {
   GeneratedProblem g = make_problem(42);
   g.problem.affinity = &g.affinity;

@@ -196,6 +196,48 @@ TEST(LayoutOptimizer, SplitSkippingOnOffAreByteIdentical) {
   }
 }
 
+TEST(LayoutOptimizer, LazyAffinityOnOffEngineVsOracleAreByteIdentical) {
+  // With AnnealOptions::lazy_affinity on, the incremental engine and the
+  // full-recompute oracle both reduce the pair terms through the shared
+  // fixed-shape tree, so the two anneals still walk the identical
+  // accept/reject sequence and land on the identical layout.
+  LayoutProblem p;
+  p.region = {0, 0, 38, 26};
+  for (int i = 0; i < 9; ++i) {
+    BudgetBlock b = soft(22 + 8.0 * i);
+    if (i % 2 == 1) b.gamma = ShapeCurve::for_rect(4 + i, 5);
+    p.blocks.push_back(b);
+  }
+  p.terminals = {Point{0, 13}, Point{38, 13}};
+  AffinityMatrix aff(11);
+  aff.set(0, 8, 1.0);
+  aff.set(1, 4, 0.7);
+  aff.set(2, 9, 0.5);   // block 2 <-> terminal 0
+  aff.set(6, 10, 0.6);  // block 6 <-> terminal 1
+  aff.set(3, 7, 0.2);
+  p.affinity = &aff;
+
+  AnnealOptions lazy_on = quick_anneal(29);
+  lazy_on.incremental = true;
+  lazy_on.lazy_affinity = true;
+  AnnealOptions lazy_oracle = lazy_on;
+  lazy_oracle.incremental = false;
+
+  const LayoutSolution a = optimize_layout(p, lazy_on);
+  const LayoutSolution b = optimize_layout(p, lazy_oracle);
+  EXPECT_EQ(a.expression.elements(), b.expression.elements());
+  EXPECT_EQ(a.cost, b.cost);
+  ASSERT_EQ(a.rects.size(), b.rects.size());
+  for (std::size_t i = 0; i < a.rects.size(); ++i) EXPECT_EQ(a.rects[i], b.rects[i]);
+
+  // Default-off sanity: the linear-order run still matches its own
+  // oracle (covered elsewhere) and is reachable alongside the tree mode.
+  AnnealOptions lazy_off = quick_anneal(29);
+  lazy_off.lazy_affinity = false;
+  const LayoutSolution c = optimize_layout(p, lazy_off);
+  EXPECT_EQ(c.rects.size(), a.rects.size());
+}
+
 TEST(LayoutOptimizer, MultichainPicksSameWinnerEitherMode) {
   LayoutProblem p;
   p.region = {0, 0, 24, 24};

@@ -34,7 +34,7 @@ struct FlipFixture {
   CellId port = 1;
   HierTree ht{d};
   std::vector<Rect> region;
-  std::vector<bool> region_valid;
+  std::vector<std::uint8_t> region_valid;
   std::vector<MacroPlacement> placement;
 
   FlipFixture() {
