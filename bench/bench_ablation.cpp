@@ -35,7 +35,7 @@ int main() {
   for (const double lambda : {0.0, 0.2, 0.5, 0.8, 1.0}) {
     HiDaPOptions o = fo.hidap;
     o.lambda = lambda;
-    o.seed = 5;
+    o.job.seed = 5;
     std::printf("%8.1f %10.3f\n", lambda, eval_wl(place_macros(design, context, o)));
   }
 
@@ -46,7 +46,7 @@ int main() {
   for (const double k : {0.0, 1.0, 2.0, 3.0}) {
     HiDaPOptions o = fo.hidap;
     o.k = k;
-    o.seed = 5;
+    o.job.seed = 5;
     std::printf("%8.1f %10.3f\n", k, eval_wl(place_macros(design, context, o)));
   }
 
@@ -77,7 +77,7 @@ int main() {
   std::printf("\nmacro flipping post-process:\n");
   {
     HiDaPOptions o = fo.hidap;
-    o.seed = 5;
+    o.job.seed = 5;
     o.flipping_passes = 0;
     const double without = eval_wl(place_macros(design, context, o));
     o.flipping_passes = 4;

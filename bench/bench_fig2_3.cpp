@@ -130,7 +130,7 @@ int main() {
   for (const auto& regime : regimes) {
     HiDaPOptions o = bench_flow_options().hidap;
     o.lambda = regime.lambda;
-    o.seed = 11;
+    o.job.seed = 11;
     const PlacementResult result = place_macros(design, context, o);
     const LayoutSummary s = summarize(ht, result.snapshots.front());
     chain[idx++] = s.chain_length;

@@ -1,0 +1,102 @@
+// Warm-vs-cold job latency through one PlacementSession (PR 6) on the
+// Table II suite: the cold job pays parsing, sequence-pair extraction,
+// recursion planning and shape-curve generation; the warm repeat of the
+// identical spec must pull all four artifacts from the content-hash
+// cache, skip straight to annealing, and still produce a byte-identical
+// DEF. The residual warm time is the irreducible SA cost, so
+// cold/warm is the end-to-end precompute share the cache recovers.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "eval/report.hpp"
+#include "gen/circuit_gen.hpp"
+#include "netlist/def_io.hpp"
+#include "netlist/verilog_writer.hpp"
+#include "service/placement_session.hpp"
+
+using namespace hidap;
+using namespace hidap::benchutil;
+
+namespace {
+
+std::string def_bytes(const JobOutcome& outcome) {
+  std::ostringstream out;
+  write_def(*outcome.design, outcome.placement, out);
+  return out.str();
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::Warn);
+  const double scale = env_scale(0.05);
+  const auto suite = selected_suite(scale);
+
+  std::printf("Session cache: cold vs warm job latency (suite scale %.3f, %d threads)\n",
+              scale, ThreadPool::default_thread_count());
+  print_rule();
+
+  // One session for the whole suite: circuits key separate cache
+  // entries, so cross-circuit reuse never happens -- only the exact
+  // warm repeat hits.
+  PlacementSession session(bench_flow_options().hidap);
+
+  ReportTable table({"Circuit", "Macros", "Cold(s)", "Warm(s)", "Speedup",
+                     "WarmHits", "DEF=="});
+  std::vector<double> speedups;
+  bool all_identical = true;
+  bool all_warm_hits = true;
+
+  for (const SuiteEntry& entry : suite) {
+    const CircuitSpec& spec = entry.spec;
+    log_progress("[service] running %s (%d macros, %d cells)...", spec.name.c_str(),
+                 spec.macro_count, spec.target_cells);
+    const Design design = generate_circuit(spec);
+    std::ostringstream verilog;
+    write_verilog(design, verilog);
+
+    PlacementJobSpec job;
+    job.id = spec.name;
+    job.verilog_text = verilog.str();
+    job.seed = 1;
+
+    const JobOutcome cold = session.run(job);
+    const JobOutcome warm = session.run(job);
+    if (cold.status != JobStatus::Completed || warm.status != JobStatus::Completed) {
+      std::printf("FAIL: %s job did not complete (%s / %s)\n", spec.name.c_str(),
+                  to_string(cold.status), to_string(warm.status));
+      return 1;
+    }
+
+    const bool warm_hit = warm.design_cached && warm.context_cached &&
+                          warm.curves_cached && warm.plan_cached;
+    const bool identical = def_bytes(cold) == def_bytes(warm);
+    all_warm_hits = all_warm_hits && warm_hit && !cold.design_cached;
+    all_identical = all_identical && identical;
+    const double speedup = warm.seconds > 0 ? cold.seconds / warm.seconds : 0.0;
+    speedups.push_back(speedup);
+
+    table.add_row({spec.name, ReportTable::num(spec.macro_count, 0),
+                   ReportTable::num(cold.seconds, 2), ReportTable::num(warm.seconds, 2),
+                   ReportTable::num(speedup, 2), warm_hit ? "4/4" : "MISS",
+                   identical ? "yes" : "NO"});
+  }
+
+  table.print();
+  table.write_csv(out_dir() + "/service.csv");
+  print_rule();
+  std::printf("Geomean cold/warm speedup: %.2fx\n", geomean(speedups));
+  std::printf("Warm repeats hit all four artifacts (design/context/curves/plan): %s\n",
+              all_warm_hits ? "yes" : "NO");
+  std::printf("Warm DEF byte-identical to cold DEF on every circuit: %s\n",
+              all_identical ? "yes" : "NO");
+  if (!all_identical || !all_warm_hits) {
+    std::printf("FAIL: session cache contract violated\n");
+    return 1;
+  }
+  return 0;
+}

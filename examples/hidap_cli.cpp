@@ -10,10 +10,14 @@
 // The netlist format is the hidap structural-Verilog subset (see
 // verilog_writer.hpp); placements are exchanged as DEF.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <thread>
 
 #include "core/hidap.hpp"
 #include "eval/flows.hpp"
@@ -33,7 +37,9 @@ namespace {
 struct Args {
   std::string command;
   std::string input, output, placement, svg, csv, fix;
+  std::string cancel_file;
   double lambda = 0.5, k = 2.0, halo = 0.0, effort = 1.0;
+  double timeout_s = 0.0;
   std::uint64_t seed = 1;
   int cells = 20000, macros = 24;
   int threads = 0, chains = 1;
@@ -48,6 +54,12 @@ struct Args {
                "usage: hidap_cli <place|eval|flows|gen> -i <netlist.v> [options]\n"
                "  place: -o out.def [--lambda L] [--k K] [--seed S] [--halo H]\n"
                "         [--effort E] [--chains C] [--svg out.svg] [--fix preplaced.def]\n"
+               "         [--timeout-s T] [--cancel-file PATH]\n"
+               "         --timeout-s T    stop after T seconds (monotonic deadline);\n"
+               "                          a valid partial placement is still written\n"
+               "         --cancel-file P  stop when file P appears (polled ~20 ms)\n"
+               "         exit status: 0 completed, 3 cancelled via --cancel-file,\n"
+               "                      4 deadline expired via --timeout-s\n"
                "  eval:  -p placed.def\n"
                "  flows: [--csv table.csv] [--seed S]\n"
                "  gen:   -o out.v [--cells N] [--macros M] [--seed S]\n"
@@ -89,6 +101,8 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--k") args.k = std::atof(next().c_str());
     else if (flag == "--halo") args.halo = std::atof(next().c_str());
     else if (flag == "--effort") args.effort = std::atof(next().c_str());
+    else if (flag == "--timeout-s") args.timeout_s = std::atof(next().c_str());
+    else if (flag == "--cancel-file") args.cancel_file = next();
     else if (flag == "--seed") args.seed = std::strtoull(next().c_str(), nullptr, 10);
     else if (flag == "--cells") args.cells = std::atoi(next().c_str());
     else if (flag == "--macros") args.macros = std::atoi(next().c_str());
@@ -110,7 +124,7 @@ int cmd_place(const Args& args) {
   options.lambda = args.lambda;
   options.k = args.k;
   options.macro_halo = args.halo;
-  options.seed = args.seed;
+  options.job.seed = args.seed;
   options.num_threads = args.threads;
   options.parallel_levels = args.parallel_levels;
   options.legacy_estimate_order = args.legacy_estimate_order;
@@ -122,18 +136,45 @@ int cmd_place(const Args& args) {
     const DefContents fixed = parse_def_file(args.fix);
     PlacementResult pre;
     apply_def_placement(design, fixed, pre);
-    options.preplaced = pre.macros;
+    options.job.preplaced = pre.macros;
     std::printf("honoring %zu preplaced macros from %s\n", pre.macros.size(),
                 args.fix.c_str());
   }
+
+  // Per-job control handle: deadline armed up front, cancel file polled
+  // by a watcher thread. The SA loops check it between moves, so a stop
+  // still yields a valid (coarser) placement, written out below.
+  JobControl control;
+  options.job.control = &control;
+  if (args.timeout_s > 0.0) control.set_deadline(Deadline::after_seconds(args.timeout_s));
+  std::atomic<bool> job_done{false};
+  std::thread watcher;
+  if (!args.cancel_file.empty()) {
+    watcher = std::thread([&control, &job_done, path = args.cancel_file]() {
+      while (!job_done.load(std::memory_order_acquire)) {
+        if (std::ifstream(path).good()) {
+          control.request_cancel();
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+  }
   const PlacementResult result = place_macros(design, options);
+  job_done.store(true, std::memory_order_release);
+  if (watcher.joinable()) watcher.join();
+
   write_def_file(design, result, args.output);
-  std::printf("placed %zu macros in %.2f s -> %s\n", result.macros.size(),
-              result.runtime_seconds, args.output.c_str());
+  std::printf("placed %zu macros in %.2f s -> %s [%s]\n", result.macros.size(),
+              result.runtime_seconds, args.output.c_str(), to_string(result.status));
   if (!args.svg.empty()) {
     write_placement_svg(design, result, args.svg);
     std::printf("wrote %s\n", args.svg.c_str());
   }
+  // Distinct exit codes so scripts can tell a full-quality run from a
+  // stopped one (the DEF is valid either way).
+  if (result.status == JobStatus::Cancelled) return 3;
+  if (result.status == JobStatus::DeadlineExpired) return 4;
   return 0;
 }
 

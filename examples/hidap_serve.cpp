@@ -1,0 +1,247 @@
+// hidap_serve: minimal multi-job placement server (ISSUE 6 tentpole,
+// level 3). JSON-lines over stdin/stdout: one request per line, one
+// event per line. One request = one PlacementJob through one shared
+// PlacementSession, so concurrent jobs over the same design share the
+// parsed netlist, analysis context, recursion plan and shape curves,
+// and all jobs' SA work interleaves fairly on the one global thread
+// pool (pool tasks are fine-grained, so neither job starves).
+//
+// Requests:
+//   {"op":"place","id":"j1","verilog":"chip.v","out":"j1.def",
+//    "seed":7,"lambda":0.5,"k":2.0,"halo":0.0,"effort":1.0,
+//    "chains":1,"timeout_s":30,"fix":"pre.def","progress":true}
+//   {"op":"cancel","id":"j1"}
+//   {"op":"drain"}          (wait for every outstanding job)
+//   {"op":"stats"}
+//   {"op":"quit"}           (EOF behaves like quit)
+//
+// Events:
+//   {"event":"accepted","id":"j1"}
+//   {"event":"progress","id":"j1","message":"..."}       (opt-in)
+//   {"event":"done","id":"j1","status":"completed","seconds":...,
+//    "macros":N,"def":"j1.def","design_cached":false,...}
+//   {"event":"drained"}
+//   {"event":"stats","active":1,"design_hits":...,...}
+//   {"event":"error","message":"..."}
+//   {"event":"bye"}
+//
+// Cancelled / deadline-expired jobs still report done with a valid
+// partial-quality DEF; "status" tells them apart ("cancelled",
+// "deadline_expired", "failed" -- failed jobs write no DEF).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "netlist/def_io.hpp"
+#include "runtime/thread_pool.hpp"
+#include "service/json.hpp"
+#include "service/placement_session.hpp"
+#include "util/log.hpp"
+
+using namespace hidap;
+
+namespace {
+
+// Every event line is written whole under one lock so concurrent jobs'
+// events never interleave mid-line.
+std::mutex g_out_mutex;
+
+void emit(const std::string& line) {
+  std::lock_guard<std::mutex> lock(g_out_mutex);
+  std::fputs(line.c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+void emit_error(const std::string& message, const std::string& id = {}) {
+  JsonWriter w;
+  w.str("event", "error");
+  if (!id.empty()) w.str("id", id);
+  w.str("message", message);
+  emit(w.finish());
+}
+
+struct Server {
+  PlacementSession session;
+  std::mutex jobs_mutex;
+  std::map<std::string, std::shared_ptr<JobControl>> active;  ///< cancellable jobs
+  std::vector<std::thread> workers;
+
+  void handle_place(const JsonObject& req) {
+    const std::string id = json_string(req, "id");
+    if (id.empty()) {
+      emit_error("place needs a non-empty \"id\"");
+      return;
+    }
+    PlacementJobSpec spec;
+    spec.id = id;
+    spec.verilog_path = json_string(req, "verilog");
+    spec.verilog_text = json_string(req, "verilog_text");
+    spec.fix_def_path = json_string(req, "fix");
+    spec.seed = static_cast<std::uint64_t>(json_number(req, "seed", 1));
+    spec.lambda = json_number(req, "lambda", 0.5);
+    spec.k = json_number(req, "k", 2.0);
+    spec.macro_halo = json_number(req, "halo", 0.0);
+    spec.effort = json_number(req, "effort", 1.0);
+    spec.chains = static_cast<int>(json_number(req, "chains", 1));
+    spec.timeout_s = json_number(req, "timeout_s", 0.0);
+    if (spec.verilog_path.empty() && spec.verilog_text.empty()) {
+      emit_error("place needs \"verilog\" (path) or \"verilog_text\"", id);
+      return;
+    }
+    const std::string out_path = json_string(req, "out");
+    spec.control = std::make_shared<JobControl>();
+    if (json_bool(req, "progress")) {
+      spec.progress = [id](const std::string& message) {
+        emit(JsonWriter().str("event", "progress").str("id", id).str("message", message)
+                 .finish());
+      };
+    }
+    {
+      std::lock_guard<std::mutex> lock(jobs_mutex);
+      if (active.count(id)) {
+        emit_error("a job with this id is already running", id);
+        return;
+      }
+      active[id] = spec.control;
+    }
+    emit(JsonWriter().str("event", "accepted").str("id", id).finish());
+
+    workers.emplace_back([this, spec = std::move(spec), out_path]() {
+      const JobOutcome outcome = session.run(spec);
+      JsonWriter done;
+      done.str("event", "done").str("id", spec.id);
+      done.str("status", to_string(outcome.status));
+      done.num("seconds", outcome.seconds);
+      if (outcome.status == JobStatus::Failed) {
+        done.str("message", outcome.error);
+      } else {
+        done.num("macros", static_cast<std::uint64_t>(outcome.placement.macros.size()));
+        done.boolean("design_cached", outcome.design_cached);
+        done.boolean("context_cached", outcome.context_cached);
+        done.boolean("curves_cached", outcome.curves_cached);
+        done.boolean("plan_cached", outcome.plan_cached);
+        if (!out_path.empty()) {
+          try {
+            write_def_file(*outcome.design, outcome.placement, out_path);
+            done.str("def", out_path);
+          } catch (const std::exception& e) {
+            done.str("message", std::string("placement ok, DEF write failed: ") + e.what());
+          }
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(jobs_mutex);
+        active.erase(spec.id);
+      }
+      emit(done.finish());
+    });
+  }
+
+  void handle_cancel(const JsonObject& req) {
+    const std::string id = json_string(req, "id");
+    std::shared_ptr<JobControl> control;
+    {
+      std::lock_guard<std::mutex> lock(jobs_mutex);
+      const auto it = active.find(id);
+      if (it != active.end()) control = it->second;
+    }
+    if (control) {
+      control->request_cancel();
+      emit(JsonWriter().str("event", "cancelling").str("id", id).finish());
+    } else {
+      emit_error("no active job with this id", id);
+    }
+  }
+
+  void handle_stats() {
+    const ArtifactCache::Stats s = session.cache_stats();
+    std::size_t active_count;
+    {
+      std::lock_guard<std::mutex> lock(jobs_mutex);
+      active_count = active.size();
+    }
+    emit(JsonWriter()
+             .str("event", "stats")
+             .num("active", static_cast<std::uint64_t>(active_count))
+             .num("design_hits", s.design_hits)
+             .num("design_misses", s.design_misses)
+             .num("context_hits", s.context_hits)
+             .num("context_misses", s.context_misses)
+             .num("curve_hits", s.curve_hits)
+             .num("curve_misses", s.curve_misses)
+             .num("plan_hits", s.plan_hits)
+             .num("plan_misses", s.plan_misses)
+             .finish());
+  }
+
+  // Blocks until every outstanding job has reported done. Clients use
+  // this to sequence batches (e.g. let a cold job donate its artifacts
+  // before issuing the warm repeats). Only the request loop touches
+  // `workers`, so no lock is needed.
+  void handle_drain() {
+    for (std::thread& t : workers) {
+      if (t.joinable()) t.join();
+    }
+    workers.clear();
+    emit("{\"event\":\"drained\"}");
+  }
+
+  // Cancels whatever is still running and joins every worker.
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(jobs_mutex);
+      for (auto& [id, control] : active) control->request_cancel();
+    }
+    for (std::thread& t : workers) {
+      if (t.joinable()) t.join();
+    }
+    workers.clear();
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::Warn);  // jobs report through their own sinks
+  int threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: hidap_serve [--threads N]\n");
+      return 2;
+    }
+  }
+  if (threads > 0) ThreadPool::set_default_thread_count(threads);
+
+  Server server;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    JsonObject req;
+    std::string error;
+    if (!parse_json_object(line, req, error)) {
+      emit_error("bad request: " + error);
+      continue;
+    }
+    const std::string op = json_string(req, "op");
+    if (op == "place") server.handle_place(req);
+    else if (op == "cancel") server.handle_cancel(req);
+    else if (op == "drain") server.handle_drain();
+    else if (op == "stats") server.handle_stats();
+    else if (op == "quit") break;
+    else emit_error("unknown op \"" + op + "\"");
+  }
+  server.shutdown();
+  emit("{\"event\":\"bye\"}");
+  return 0;
+}

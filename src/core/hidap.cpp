@@ -18,7 +18,8 @@ PlacementResult place_macros(const Design& design, const HiDaPOptions& options,
 
 PlacementResult place_macros(const Design& design, const PlacementContext& context,
                              const HiDaPOptions& options,
-                             std::optional<Rect> die_override) {
+                             std::optional<Rect> die_override,
+                             PlacementArtifacts* artifacts) {
   Timer timer;
   const Rect die = die_override.value_or(Rect{0, 0, design.die().w, design.die().h});
   if (die.area() <= 0) throw std::invalid_argument("place_macros: empty die");
@@ -26,10 +27,48 @@ PlacementResult place_macros(const Design& design, const PlacementContext& conte
 
   RecursiveFloorplanner floorplanner(design, context.adjacency, context.ht, context.seq,
                                      options);
+  if (artifacts != nullptr) {
+    if (artifacts->shape_curves) floorplanner.adopt_shape_curves(*artifacts->shape_curves);
+    if (artifacts->recursion_plan) {
+      floorplanner.adopt_recursion_plan(*artifacts->recursion_plan);
+    }
+  }
   PlacementResult result = floorplanner.run(die);
 
+  JobControl* control = options.job.control;
+  const bool stopped = control != nullptr && control->should_stop();
+  if (artifacts != nullptr && !stopped) {
+    // Export this run's precomputes for the caller to cache. Stopped
+    // runs are excluded: their curve anneals exited early, so the
+    // curves are not the pure function of the cache key that a hit
+    // must be byte-equal to.
+    if (!artifacts->shape_curves) {
+      artifacts->shape_curves =
+          std::make_shared<std::vector<ShapeCurve>>(floorplanner.shape_curves());
+    }
+    if (!artifacts->recursion_plan) {
+      artifacts->recursion_plan =
+          std::make_shared<RecursionPlan>(floorplanner.recursion_plan());
+    }
+  }
+
+  if (stopped) {
+    // Wind down promptly: the flipping and legalization post-passes are
+    // refinement only, so a cancelled job skips them and returns the
+    // recursion's coarse-but-complete placement as-is.
+    if (control != nullptr) {
+      control->post_progress("stopped (%s): returning partial placement of %zu macros",
+                             to_string(status_from_stop(control->stop_reason())),
+                             result.macros.size());
+    }
+    result.status = status_from_stop(control->stop_reason());
+    result.runtime_seconds = timer.seconds();
+    result.flow_name = "HiDaP";
+    return result;
+  }
+
   std::set<CellId> preplaced;
-  for (const MacroPlacement& m : options.preplaced) preplaced.insert(m.cell);
+  for (const MacroPlacement& m : options.job.preplaced) preplaced.insert(m.cell);
   flip_macros(design, context.ht, floorplanner.region_of_node(),
               floorplanner.region_valid(), result.macros, options.flipping_passes,
               preplaced.empty() ? nullptr : &preplaced);
@@ -44,6 +83,11 @@ PlacementResult place_macros(const Design& design, const PlacementContext& conte
     legalize_macros(design, result.macros, legal);
   }
 
+  // A stop requested after the recursion finished still reports its
+  // status (the refinement passes above ran; the placement is full
+  // quality, but callers polling for cancellation must see it honored).
+  result.status =
+      control != nullptr ? status_from_stop(control->stop_reason()) : JobStatus::Completed;
   result.runtime_seconds = timer.seconds();
   result.flow_name = "HiDaP";
   HIDAP_LOG_INFO("HiDaP placed %zu macros in %.2fs (lambda=%.2f)", result.macros.size(),

@@ -36,15 +36,33 @@ struct PlacementContext {
   SeqGraph seq;
 };
 
+/// Reusable shape-curve / recursion-plan precomputes; defined in
+/// core/recursive_floorplan.hpp, cached across jobs by the service
+/// layer's ArtifactCache.
+struct PlacementArtifacts;
+
 /// Runs the full HiDaP flow on a design. Throws std::invalid_argument
 /// when the design has no macros or no usable die area.
+///
+/// Per-job state (seed, preplaced macros, the cancellation/deadline/
+/// progress handle) rides in options.job. A controlled job whose
+/// JobControl asks to stop returns promptly with a valid
+/// partial-quality placement and result.status set to the stop reason;
+/// an uncontrolled or uncancelled run is bit-identical to the
+/// pre-service pipeline.
 PlacementResult place_macros(const Design& design, const HiDaPOptions& options = {},
                              std::optional<Rect> die = std::nullopt);
 
-/// Same, reusing a prebuilt context (lambda/seed sweeps).
+/// Same, reusing a prebuilt context (lambda/seed sweeps) and optionally
+/// cached artifacts: when `artifacts` is non-null, present entries are
+/// adopted (skipping shape-curve generation / recursion planning,
+/// bit-identical to recomputing them) and absent entries are filled in
+/// from this run for the caller to cache -- except on stopped runs,
+/// whose partial-quality curves must never be cached.
 PlacementResult place_macros(const Design& design, const PlacementContext& context,
                              const HiDaPOptions& options,
-                             std::optional<Rect> die = std::nullopt);
+                             std::optional<Rect> die = std::nullopt,
+                             PlacementArtifacts* artifacts = nullptr);
 
 /// Sanity metrics over a placement, used by tests and flows.
 struct PlacementCheck {

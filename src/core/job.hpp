@@ -1,0 +1,42 @@
+#pragma once
+// Per-job placement state, split out of HiDaPOptions.
+//
+// HiDaPOptions used to mix two kinds of state: algorithm configuration
+// (lambda, declustering thresholds, SA schedules) that a long-lived
+// session shares across many requests, and per-job state (the RNG seed,
+// the engineer's preplaced macros, and -- since the service refactor --
+// the cancellation/deadline/progress handle) that belongs to one
+// placement run. JobState is the latter; HiDaPOptions embeds one as
+// `job` so a single options value still flows through the pipeline,
+// but the split is explicit in the type system and the service layer
+// (src/service/) can stamp a fresh JobState onto shared base options
+// for every request.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/result.hpp"
+#include "util/job_control.hpp"
+
+namespace hidap {
+
+struct JobState {
+  std::uint64_t seed = 1;
+
+  // Macros preplaced by the engineer: they are not moved, act as fixed
+  // dataflow terminals, and are copied verbatim into the result. This is
+  // the "starting point for physical design iterations" workflow of the
+  // paper's conclusions.
+  std::vector<MacroPlacement> preplaced;
+
+  // Cooperative cancellation / deadline / progress handle. Non-owning:
+  // the caller keeps the JobControl alive for the duration of the run.
+  // Null = uncontrolled, the run never stops early and posts no
+  // progress -- bit-identical to the pre-service behavior.
+  JobControl* control = nullptr;
+
+  /// True when this job has been asked to stop (cancel or deadline).
+  bool should_stop() const { return control && control->should_stop(); }
+};
+
+}  // namespace hidap

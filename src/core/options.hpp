@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/job.hpp"
 #include "core/result.hpp"
 #include "dataflow/seq_extract.hpp"
 #include "floorplan/annealer.hpp"
@@ -39,11 +40,11 @@ struct HiDaPOptions {
   // knob for router/CTS access around memories.
   double macro_halo = 0.0;
 
-  // Macros preplaced by the engineer: they are not moved, act as fixed
-  // dataflow terminals, and are copied verbatim into the result. This is
-  // the "starting point for physical design iterations" workflow of the
-  // paper's conclusions.
-  std::vector<MacroPlacement> preplaced;
+  // Per-job state (seed, preplaced macros, cancellation/progress
+  // handle), split out of the algorithm configuration above so a
+  // long-lived session can share one HiDaPOptions and stamp a fresh
+  // JobState per request. See core/job.hpp.
+  JobState job;
 
   // Task-level parallelism (runtime/thread_pool.hpp): lambda/seed
   // sweeps, multi-chain SA, the flow comparison and the recursion
@@ -66,8 +67,6 @@ struct HiDaPOptions {
   // estimate-semantics golden pair and as the bit-exact continuation of
   // the pre-PR5 flow; overrides parallel_levels when set.
   bool legacy_estimate_order = false;
-
-  std::uint64_t seed = 1;
 
   /// Scales SA effort (moves per temperature, cooling) by a factor;
   /// benches use ~0.3-1, the handFP proxy ~3.

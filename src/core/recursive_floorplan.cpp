@@ -29,6 +29,18 @@ RecursiveFloorplanner::RecursiveFloorplanner(const Design& design,
   plan_.resize(ht.size());
 }
 
+void RecursiveFloorplanner::adopt_shape_curves(const std::vector<ShapeCurve>& curves) {
+  assert(curves.size() == ht_.size() && "curve set from a different hierarchy");
+  shape_curves_ = curves;
+  curves_ready_ = true;
+}
+
+void RecursiveFloorplanner::adopt_recursion_plan(const RecursionPlan& plan) {
+  assert(plan.size() == ht_.size() && "plan from a different hierarchy");
+  plan_ = plan;
+  plan_adopted_ = true;
+}
+
 void RecursiveFloorplanner::generate_shape_curves() {
   // A node's curve depends only on its children's, which sit strictly
   // deeper, so the bottom-up sweep is sharded by tree depth: every rank
@@ -77,7 +89,12 @@ void RecursiveFloorplanner::generate_shape_curves() {
             return;
           }
           AreaFloorplanOptions fp = options_.shape_fp;
-          fp.anneal.seed = options_.seed * 0x9e3779b9ULL + i;
+          fp.anneal.seed = options_.job.seed * 0x9e3779b9ULL + i;
+          // A stopped job winds down fast: each node's packing anneal
+          // exits at its first cooperative check and the merged
+          // best-so-far curve (the initial slicing at worst) keeps the
+          // curve set structurally valid for the fallback recursion.
+          fp.anneal.control = options_.job.control;
           shape_curves_[i] = pack_shape_curve(child_curves, fp);
         },
         lanes);
@@ -87,10 +104,11 @@ void RecursiveFloorplanner::generate_shape_curves() {
 
 PlacementResult RecursiveFloorplanner::run(const Rect& die) {
   if (!curves_ready_) generate_shape_curves();
+  die_ = die;
   result_ = PlacementResult{};
-  store_.reset(options_.preplaced);
-  for (const MacroPlacement& m : options_.preplaced) result_.macros.push_back(m);
-  plan_recursion();
+  store_.reset(options_.job.preplaced);
+  for (const MacroPlacement& m : options_.job.preplaced) result_.macros.push_back(m);
+  if (!plan_adopted_) plan_recursion();
   store_.set_region(ht_.root(), die);
   if (unfixed_macro_count(ht_.root()) > 0) {
     // The root's inherited snapshot holds exactly the preplaced macro
@@ -159,6 +177,21 @@ void RecursiveFloorplanner::floorplan_level(HtNodeId nh, const Rect& region, int
                                             const EstimateSnapshot& inherited,
                                             SubtreeResult& out) {
   store_.set_region(nh, region);
+  JobControl* control = options_.job.control;
+  if (control != nullptr && control->should_stop()) {
+    // Cancelled / past deadline: the whole subtree degrades to the
+    // cheap grid prototype inside its region -- every macro still gets
+    // a position (a valid partial-quality result) and the remaining
+    // work is O(macros), so the stop is prompt at any depth. Stops are
+    // sticky, so sibling tasks observe the same predicate and wind
+    // down too.
+    fallback_grid_place(nh, region, out);
+    return;
+  }
+  if (control != nullptr) {
+    control->post_progress("level %s depth=%d region=%.0fx%.0f", ht_.path(nh).c_str(),
+                           depth, region.w, region.h);
+  }
   const LevelPlan& plan = plan_[static_cast<std::size_t>(nh)];
   assert(plan.planned && "floorplan_level on an unplanned node");
   if (plan.fallback) {
@@ -205,7 +238,8 @@ void RecursiveFloorplanner::floorplan_level(HtNodeId nh, const Rect& region, int
     problem.blocks.push_back(std::move(block));
   }
   AnnealOptions anneal = options_.layout_anneal;
-  anneal.seed = options_.seed * 0xd1342543de82ef95ULL + plan.ordinal;
+  anneal.seed = options_.job.seed * 0xd1342543de82ef95ULL + plan.ordinal;
+  anneal.control = control;
   const LayoutSolution layout = optimize_layout(problem, anneal);
 
   // Snapshot for Fig. 1-style visualization.
@@ -321,9 +355,20 @@ void RecursiveFloorplanner::fix_single_macro(HtNodeId block, const Rect& rect,
   const auto best = std::min_element(
       candidates.begin(), candidates.end(),
       [](const Candidate& a, const Candidate& b) { return a.cost < b.cost; });
-  out.macros.push_back(MacroPlacement{cell, best->r, best->o});
-  store_.set_estimate(cell, best->r.center());
-  store_.set_region(block, best->r);
+  Rect placed = best->r;
+  // A stopped level keeps its best-so-far layout, whose block rects may
+  // overflow the region (overflow is penalized, not forbidden, and the
+  // legalize post-pass is skipped on stop). Clamp into the die on that
+  // path so the partial result stays valid; uncancelled runs take the
+  // historical geometry untouched.
+  const JobControl* control = options_.job.control;
+  if (control != nullptr && control->should_stop()) {
+    placed.x = std::clamp(placed.x, die_.x, std::max(die_.x, die_.xmax() - placed.w));
+    placed.y = std::clamp(placed.y, die_.y, std::max(die_.y, die_.ymax() - placed.h));
+  }
+  out.macros.push_back(MacroPlacement{cell, placed, best->o});
+  store_.set_estimate(cell, placed.center());
+  store_.set_region(block, placed);
 }
 
 // Defensive fallback: rows of macros across the region. Only reached on
@@ -337,12 +382,23 @@ void RecursiveFloorplanner::fallback_grid_place(HtNodeId nh, const Rect& region,
   if (macros.empty()) return;
   const int cols = std::max(1, static_cast<int>(std::ceil(std::sqrt(macros.size()))));
   const int rows = static_cast<int>((macros.size() + cols - 1) / cols);
+  // On a cooperative stop this fallback can be handed an arbitrarily
+  // small region deep in the recursion, where the unclamped grid would
+  // spill macros outside the die. Validity (every macro inside the die)
+  // outranks overlap on that path; the legacy degenerate-hierarchy
+  // calls keep the historical unclamped geometry bit for bit.
+  const JobControl* control = options_.job.control;
+  const bool clamp_to_die = control != nullptr && control->should_stop();
   for (std::size_t i = 0; i < macros.size(); ++i) {
     const MacroDef& def = design_.macro_def_of(macros[i]);
     const int r = static_cast<int>(i) / cols;
     const int c = static_cast<int>(i) % cols;
-    const double x = region.x + region.w * c / cols;
-    const double y = region.y + region.h * r / rows;
+    double x = region.x + region.w * c / cols;
+    double y = region.y + region.h * r / rows;
+    if (clamp_to_die) {
+      x = std::clamp(x, die_.x, std::max(die_.x, die_.xmax() - def.w));
+      y = std::clamp(y, die_.y, std::max(die_.y, die_.ymax() - def.h));
+    }
     out.macros.push_back(
         MacroPlacement{macros[i], Rect{x, y, def.w, def.h}, Orientation::R0});
     store_.set_estimate(macros[i], Point{x + def.w / 2, y + def.h / 2});

@@ -34,6 +34,7 @@
 // behavior (inference sees earlier siblings' refinements; sequential
 // only), kept golden-pinned for comparison.
 
+#include <memory>
 #include <vector>
 
 #include "core/dataflow_inference.hpp"
@@ -46,6 +47,31 @@
 
 namespace hidap {
 
+/// Static per-level schedule, computed up front by plan_recursion():
+/// the declustering (a pure function of the hierarchy tree, the
+/// declustering thresholds and the preplaced set -- never of seeds or
+/// evolving estimates) and the level's DFS-preorder anneal ordinal.
+/// One entry per HtNodeId; reusable across jobs with the same inputs,
+/// which is why the artifact cache stores it (see PlacementArtifacts).
+struct LevelPlan {
+  std::vector<HtNodeId> hcb;
+  std::uint64_t ordinal = 0;  ///< 1-based; 0 on fallback levels
+  bool planned = false;
+  bool fallback = false;      ///< empty declustering or depth cap
+};
+using RecursionPlan = std::vector<LevelPlan>;
+
+/// Reusable precomputes of one (design, options) combination that a
+/// session caches across jobs so a warm repeat skips straight to
+/// annealing. Both are pure functions of their cache-key inputs, so
+/// adopting them is bit-identical to recomputing: shape curves depend
+/// on (design, seed, macro_halo, shape_fp), the recursion plan on
+/// (design, declustering thresholds, preplaced cells).
+struct PlacementArtifacts {
+  std::shared_ptr<const std::vector<ShapeCurve>> shape_curves;
+  std::shared_ptr<const RecursionPlan> recursion_plan;
+};
+
 class RecursiveFloorplanner {
  public:
   RecursiveFloorplanner(const Design& design, const CellAdjacency& adjacency,
@@ -54,6 +80,17 @@ class RecursiveFloorplanner {
 
   /// Runs shape-curve generation followed by the recursion over the die.
   PlacementResult run(const Rect& die);
+
+  /// Adopts cached precomputes instead of recomputing them in run().
+  /// The caller asserts they were produced by a run with equal inputs
+  /// (the artifact cache keys guarantee it); results are then
+  /// bit-identical to a cold run.
+  void adopt_shape_curves(const std::vector<ShapeCurve>& curves);
+  void adopt_recursion_plan(const RecursionPlan& plan);
+
+  /// The schedule used by the last run() (or adopted); exposed so the
+  /// session can cache it for warm repeats.
+  const RecursionPlan& recursion_plan() const { return plan_; }
 
   /// S_Gamma: per-HT-node macro shape curves (valid after run() or
   /// generate_shape_curves()). Equal-depth nodes are composed as
@@ -76,16 +113,6 @@ class RecursiveFloorplanner {
     std::vector<LevelSnapshot> snapshots;
   };
 
-  /// Static per-level schedule, computed up front by plan_recursion():
-  /// the declustering (a pure function of ht_ + options) and the level's
-  /// DFS-preorder anneal ordinal.
-  struct LevelPlan {
-    std::vector<HtNodeId> hcb;
-    std::uint64_t ordinal = 0;  ///< 1-based; 0 on fallback levels
-    bool planned = false;
-    bool fallback = false;      ///< empty declustering or depth cap
-  };
-
   void plan_recursion();
   void plan_level(HtNodeId nh, int depth, std::uint64_t& counter);
   void floorplan_level(HtNodeId nh, const Rect& region, int depth,
@@ -106,9 +133,11 @@ class RecursiveFloorplanner {
 
   std::vector<ShapeCurve> shape_curves_;
   EstimateStore store_;
-  std::vector<LevelPlan> plan_;  // per HtNodeId
+  RecursionPlan plan_;  // per HtNodeId
   PlacementResult result_;
+  Rect die_{};  // run()'s die; bounds the stop-path grid fallback
   bool curves_ready_ = false;
+  bool plan_adopted_ = false;
 };
 
 }  // namespace hidap

@@ -8,6 +8,7 @@
 #include "geometry/orientation.hpp"
 #include "hier/hier_tree.hpp"
 #include "netlist/netlist.hpp"
+#include "util/job_control.hpp"
 
 namespace hidap {
 
@@ -34,6 +35,12 @@ struct PlacementResult {
   std::vector<LevelSnapshot> snapshots;
   double runtime_seconds = 0.0;
   std::string flow_name;
+
+  /// Completed for a full run. Cancelled / DeadlineExpired runs are
+  /// still valid placements (every macro placed) but partial-quality:
+  /// levels below the stop point fall back to cheap grid prototypes and
+  /// the flipping/legalization post-passes are skipped.
+  JobStatus status = JobStatus::Completed;
 
   const MacroPlacement* find(CellId cell) const {
     for (const MacroPlacement& m : macros) {

@@ -54,6 +54,9 @@ PlacementResult run_indeda_flow(const Design& design, const PlacementContext& co
   WallPackOptions wp;
   wp.anneal = options.hidap.layout_anneal;
   wp.anneal.seed = options.seed ^ 0x1aed;
+  // The job handle reaches every flow's SA loop: a cancelled comparison
+  // winds down the wall packer just like the HiDaP sweeps.
+  wp.anneal.control = options.hidap.job.control;
   wp.anneal.moves_per_temperature = static_cast<int>(
       wp.anneal.moves_per_temperature * options.indeda_effort);
   PlacementResult result = place_macros_walls(design, context.ht, context.seq, wp);
@@ -66,6 +69,9 @@ PlacementResult run_indeda_flow(const Design& design, const PlacementContext& co
   region_valid[static_cast<std::size_t>(context.ht.root())] = 1;
   flip_macros(design, context.ht, region, region_valid, result.macros,
               options.hidap.flipping_passes);
+  if (const JobControl* control = options.hidap.job.control) {
+    result.status = status_from_stop(control->stop_reason());
+  }
   return result;
 }
 
@@ -76,13 +82,18 @@ PlacementResult run_hidap_flow(const Design& design, const PlacementContext& con
       slots.size(),
       [&](std::size_t i) {
         const Timer task_timer;
-        HiDaPOptions opts = options.hidap;
+        HiDaPOptions opts = options.hidap;  // copies the job state too
         opts.lambda = HiDaPOptions::kLambdaSweep[i];
-        opts.seed = options.seed;
+        opts.job.seed = options.seed;
         slots[i].result = place_macros(design, context, opts);
         slots[i].metrics = evaluate_placement(design, context.ht, context.seq,
                                               slots[i].result, options.eval);
         slots[i].seconds = task_timer.seconds();
+        if (JobControl* control = options.hidap.job.control) {
+          control->post_progress("hidap lambda=%.1f: WL=%.3f m (%.2fs)",
+                                 HiDaPOptions::kLambdaSweep[i], slots[i].metrics.wl_m,
+                                 slots[i].seconds);
+        }
       },
       effective_thread_count(options.hidap.num_threads));
   for (std::size_t i = 0; i < slots.size(); ++i) {
@@ -101,12 +112,13 @@ PlacementResult run_handfp_flow(const Design& design, const PlacementContext& co
       [&](std::size_t t) {
         const Timer task_timer;
         const int s = static_cast<int>(t / kLambdas);
-        HiDaPOptions opts = options.hidap;
+        HiDaPOptions opts = options.hidap;  // copies the job state too
         opts.lambda = HiDaPOptions::kLambdaSweep[t % kLambdas];
         // Seed 0 re-runs the tool's own configuration at expert effort (the
         // engineer starts from the tool output); later seeds explore.
-        opts.seed = s == 0 ? options.seed
-                           : options.seed * 7919 + static_cast<std::uint64_t>(s) * 104729 + 13;
+        opts.job.seed =
+            s == 0 ? options.seed
+                   : options.seed * 7919 + static_cast<std::uint64_t>(s) * 104729 + 13;
         opts.scale_effort(options.handfp_effort);
         slots[t].result = place_macros(design, context, opts);
         slots[t].metrics = evaluate_placement(design, context.ht, context.seq,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "runtime/thread_pool.hpp"
+#include "util/job_control.hpp"
 #include "util/log.hpp"
 
 namespace hidap {
@@ -18,10 +19,21 @@ AnnealStats anneal(double initial_cost, const AnnealOptions& options,
 
   double current = initial_cost;
 
+  // Cooperative stop: polled between moves only, so hook state is
+  // always consistent (the last proposal was committed or rejected)
+  // and the caller's best-so-far snapshot is usable as-is.
+  const auto stop_requested = [&options] {
+    return options.control != nullptr && options.control->should_stop();
+  };
+
   // --- temperature calibration: average uphill magnitude of random moves.
   double uphill_sum = 0.0;
   int uphill_count = 0;
   for (int i = 0; i < options.calibration_moves; ++i) {
+    if (stop_requested()) {
+      stats.stopped = true;
+      return stats;
+    }
     const double cost = hooks.propose();
     const double delta = cost - current;
     if (delta > 0) {
@@ -43,9 +55,14 @@ AnnealStats anneal(double initial_cost, const AnnealOptions& options,
   const double t_frozen = temperature * options.frozen_temperature_ratio;
 
   int stagnant = 0;
-  while (temperature > t_frozen && stagnant < options.max_stagnant_temperatures) {
+  while (!stats.stopped && temperature > t_frozen &&
+         stagnant < options.max_stagnant_temperatures) {
     bool improved = false;
     for (int m = 0; m < options.moves_per_temperature; ++m) {
+      if (stop_requested()) {
+        stats.stopped = true;
+        break;
+      }
       ++stats.moves_attempted;
       const double cost = hooks.propose();
       const double delta = cost - current;
@@ -93,7 +110,9 @@ AnnealStats anneal_multichain(
       max_threads);
 
   std::size_t winner = 0;
+  bool any_stopped = stats[0].stopped;
   for (std::size_t c = 1; c < stats.size(); ++c) {
+    any_stopped = any_stopped || stats[c].stopped;
     if (stats[c].best_cost < stats[winner].best_cost) winner = c;
   }
   if (chains > 1) {
@@ -101,7 +120,9 @@ AnnealStats anneal_multichain(
                     stats[winner].best_cost);
   }
   if (best_chain) *best_chain = static_cast<int>(winner);
-  return stats[winner];
+  AnnealStats result = stats[winner];
+  result.stopped = any_stopped;
+  return result;
 }
 
 }  // namespace hidap

@@ -13,6 +13,8 @@
 
 namespace hidap {
 
+class JobControl;  // util/job_control.hpp
+
 struct AnnealOptions {
   double initial_acceptance = 0.9;   ///< target uphill acceptance at T0
   double cooling = 0.9;              ///< geometric cooling factor
@@ -43,6 +45,16 @@ struct AnnealOptions {
   /// together, keeping them bit-identical to each other under either
   /// setting. Default off (groundwork; see the bench_micro ablation).
   bool lazy_affinity = false;
+
+  /// Cooperative stop handle, polled before every calibration and
+  /// cooling move (promptness is bounded by one move, microseconds on
+  /// the real problems). On stop the engine returns immediately with
+  /// the stats so far and AnnealStats::stopped set; the caller's state
+  /// is consistent (the check sits between moves) and its best-so-far
+  /// snapshot is a valid partial result. Null (the default) never
+  /// stops -- bit-identical to the pre-cancellation engine, since the
+  /// RNG stream is untouched by the extra predicate.
+  const JobControl* control = nullptr;
 };
 
 /// A proposal must undercut the best cost by at least this margin before
@@ -78,6 +90,9 @@ struct AnnealStats {
   long moves_attempted = 0;
   long moves_accepted = 0;
   int temperature_steps = 0;
+  /// True when AnnealOptions::control stopped the schedule early; the
+  /// best cost/solution seen so far is still valid.
+  bool stopped = false;
 };
 
 /// Runs the schedule; `initial_cost` is the cost of the starting state.

@@ -1,0 +1,243 @@
+#include "service/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hidap {
+
+namespace {
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool done() const { return pos >= text.size(); }
+  char peek() const { return done() ? '\0' : text[pos]; }
+  char take() { return done() ? '\0' : text[pos++]; }
+  void skip_ws() {
+    while (!done() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (peek() != c) return false;
+    ++pos;
+    return true;
+  }
+  bool consume_word(std::string_view word) {
+    skip_ws();
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+};
+
+bool parse_string(Cursor& c, std::string& out, std::string& error) {
+  if (!c.consume('"')) {
+    error = "expected '\"'";
+    return false;
+  }
+  out.clear();
+  while (true) {
+    if (c.done()) {
+      error = "unterminated string";
+      return false;
+    }
+    const char ch = c.take();
+    if (ch == '"') return true;
+    if (ch != '\\') {
+      out.push_back(ch);
+      continue;
+    }
+    const char esc = c.take();
+    switch (esc) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        // Only the escaped-ASCII subset we emit ourselves: \u00XX.
+        char hex[5] = {};
+        for (int i = 0; i < 4; ++i) hex[i] = c.take();
+        char* end = nullptr;
+        const long code = std::strtol(hex, &end, 16);
+        if (end != hex + 4 || code < 0 || code > 0x7f) {
+          error = "unsupported \\u escape (only \\u0000..\\u007f)";
+          return false;
+        }
+        out.push_back(static_cast<char>(code));
+        break;
+      }
+      default:
+        error = "bad escape";
+        return false;
+    }
+  }
+}
+
+bool parse_value(Cursor& c, JsonValue& out, std::string& error) {
+  c.skip_ws();
+  const char ch = c.peek();
+  if (ch == '"') {
+    out.kind = JsonValue::Kind::String;
+    return parse_string(c, out.str, error);
+  }
+  if (ch == '{' || ch == '[') {
+    error = "nested objects/arrays are not part of the line protocol";
+    return false;
+  }
+  if (c.consume_word("true")) {
+    out.kind = JsonValue::Kind::Boolean;
+    out.boolean = true;
+    return true;
+  }
+  if (c.consume_word("false")) {
+    out.kind = JsonValue::Kind::Boolean;
+    out.boolean = false;
+    return true;
+  }
+  if (c.consume_word("null")) {
+    out.kind = JsonValue::Kind::Null;
+    return true;
+  }
+  // Number: delegate validation to strtod over the raw tail.
+  const char* begin = c.text.data() + c.pos;
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end == begin) {
+    error = "expected a value";
+    return false;
+  }
+  out.kind = JsonValue::Kind::Number;
+  out.num = value;
+  c.pos += static_cast<std::size_t>(end - begin);
+  return true;
+}
+
+}  // namespace
+
+bool parse_json_object(std::string_view text, JsonObject& out, std::string& error) {
+  out.clear();
+  Cursor c{text};
+  if (!c.consume('{')) {
+    error = "expected '{'";
+    return false;
+  }
+  if (c.consume('}')) {
+    c.skip_ws();
+    if (!c.done()) {
+      error = "trailing characters";
+      return false;
+    }
+    return true;
+  }
+  while (true) {
+    std::string key;
+    if (!parse_string(c, key, error)) return false;
+    if (!c.consume(':')) {
+      error = "expected ':'";
+      return false;
+    }
+    JsonValue value;
+    if (!parse_value(c, value, error)) return false;
+    out[key] = std::move(value);
+    if (c.consume(',')) continue;
+    if (c.consume('}')) break;
+    error = "expected ',' or '}'";
+    return false;
+  }
+  c.skip_ws();
+  if (!c.done()) {
+    error = "trailing characters";
+    return false;
+  }
+  return true;
+}
+
+std::string json_string(const JsonObject& obj, const std::string& key,
+                        const std::string& fallback) {
+  const auto it = obj.find(key);
+  return it != obj.end() && it->second.kind == JsonValue::Kind::String ? it->second.str
+                                                                       : fallback;
+}
+
+double json_number(const JsonObject& obj, const std::string& key, double fallback) {
+  const auto it = obj.find(key);
+  return it != obj.end() && it->second.kind == JsonValue::Kind::Number ? it->second.num
+                                                                       : fallback;
+}
+
+bool json_bool(const JsonObject& obj, const JsonObject::key_type& key, bool fallback) {
+  const auto it = obj.find(key);
+  return it != obj.end() && it->second.kind == JsonValue::Kind::Boolean
+             ? it->second.boolean
+             : fallback;
+}
+
+bool json_has(const JsonObject& obj, const std::string& key) {
+  return obj.find(key) != obj.end();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += json_escape(k);
+  body_ += "\":";
+}
+
+JsonWriter& JsonWriter::str(std::string_view k, std::string_view value) {
+  key(k);
+  body_ += '"';
+  body_ += json_escape(value);
+  body_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::num(std::string_view k, double value) {
+  key(k);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  body_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::num(std::string_view k, std::uint64_t value) {
+  key(k);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::boolean(std::string_view k, bool value) {
+  key(k);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+}  // namespace hidap

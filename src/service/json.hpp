@@ -1,0 +1,59 @@
+#pragma once
+// Minimal flat JSON for the hidap_serve line protocol.
+//
+// One request or event is one JSON object on one line, with only
+// string / number / boolean / null values -- no nested objects or
+// arrays. That covers the whole protocol (see examples/hidap_serve.cpp)
+// and keeps the parser a page long; nested values are rejected with a
+// parse error rather than silently mangled.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace hidap {
+
+/// A parsed flat JSON value.
+struct JsonValue {
+  enum class Kind { String, Number, Boolean, Null };
+  Kind kind = Kind::Null;
+  std::string str;      ///< Kind::String
+  double num = 0.0;     ///< Kind::Number
+  bool boolean = false; ///< Kind::Boolean
+};
+
+/// Key -> value map of one flat object. std::map so iteration (and any
+/// serialization of it) is deterministic.
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Parses one flat JSON object. Returns false and fills `error` on
+/// malformed input or nested values.
+bool parse_json_object(std::string_view text, JsonObject& out, std::string& error);
+
+/// Convenience typed getters with defaults for absent keys.
+std::string json_string(const JsonObject& obj, const std::string& key,
+                        const std::string& fallback = {});
+double json_number(const JsonObject& obj, const std::string& key, double fallback = 0.0);
+bool json_bool(const JsonObject& obj, const JsonObject::key_type& key, bool fallback = false);
+bool json_has(const JsonObject& obj, const std::string& key);
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(std::string_view s);
+
+/// Builder for one flat object: {"a":"x","n":3}. Field order is the
+/// call order.
+class JsonWriter {
+ public:
+  JsonWriter& str(std::string_view key, std::string_view value);
+  JsonWriter& num(std::string_view key, double value);
+  JsonWriter& num(std::string_view key, std::uint64_t value);
+  JsonWriter& boolean(std::string_view key, bool value);
+  std::string finish() const { return body_.empty() ? "{}" : "{" + body_ + "}"; }
+
+ private:
+  void key(std::string_view k);
+  std::string body_;
+};
+
+}  // namespace hidap

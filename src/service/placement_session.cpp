@@ -1,0 +1,119 @@
+#include "service/placement_session.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "netlist/def_io.hpp"
+#include "netlist/verilog_parser.hpp"
+#include "util/timer.hpp"
+
+namespace hidap {
+
+namespace {
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+PlacementSession::PlacementSession(HiDaPOptions base) : base_(std::move(base)) {
+  base_.job = JobState{};  // job state always comes from the spec
+}
+
+JobOutcome PlacementSession::run(const PlacementJobSpec& spec) {
+  JobOutcome outcome;
+  const Timer timer;
+
+  // The control outlives every pool task of this job; job-local unless
+  // the caller provided one to cancel through.
+  std::shared_ptr<JobControl> control = spec.control;
+  if (!control) control = std::make_shared<JobControl>();
+  if (spec.progress) control->set_progress_sink(spec.progress);
+  if (spec.timeout_s > 0.0) {
+    control->set_deadline(Deadline::after_seconds(spec.timeout_s));
+  }
+
+  try {
+    // --- Design: content-hashed text, single-flight parse. ---
+    const std::string text =
+        !spec.verilog_text.empty() ? spec.verilog_text : slurp_file(spec.verilog_path);
+    const std::uint64_t design_key = ArtifactCache::design_key(text);
+    outcome.design = cache_.design(
+        design_key, [&text]() { return parse_verilog_string(text); },
+        &outcome.design_cached);
+    const Design& design = *outcome.design;
+
+    // --- Per-job options over the shared base. ---
+    HiDaPOptions options = base_;
+    options.lambda = spec.lambda;
+    options.k = spec.k;
+    options.macro_halo = spec.macro_halo;
+    options.layout_anneal.chains = spec.chains > 1 ? spec.chains : 1;
+    options.scale_effort(spec.effort);
+    options.job.seed = spec.seed;
+    options.job.control = control.get();
+    if (!spec.fix_def_path.empty()) {
+      const DefContents fixed = parse_def_file(spec.fix_def_path);
+      PlacementResult pre;
+      apply_def_placement(design, fixed, pre);
+      options.job.preplaced = std::move(pre.macros);
+    }
+
+    // --- Context: analysis shared across seeds/lambdas/jobs. ---
+    const std::uint64_t context_key = ArtifactCache::context_key(design_key, options.seq);
+    const std::shared_ptr<const PlacementContext> context = cache_.context(
+        context_key,
+        [&design, &options]() { return PlacementContext(design, options.seq); },
+        &outcome.context_cached);
+
+    // --- Cached precomputes; whatever misses is computed by this run. ---
+    const std::uint64_t curves_key = ArtifactCache::curves_key(
+        context_key, spec.seed, options.macro_halo, options.shape_fp);
+    const std::uint64_t plan_key = ArtifactCache::plan_key(
+        context_key, options.min_area_frac, options.open_area_frac,
+        options.job.preplaced);
+    PlacementArtifacts artifacts;
+    artifacts.shape_curves = cache_.find_curves(curves_key);
+    artifacts.recursion_plan = cache_.find_plan(plan_key);
+    const bool curves_were_cached = artifacts.shape_curves != nullptr;
+    const bool plan_was_cached = artifacts.recursion_plan != nullptr;
+
+    control->post_progress("job %s: design=%016llx curves=%s plan=%s", spec.id.c_str(),
+                           static_cast<unsigned long long>(design_key),
+                           curves_were_cached ? "hit" : "miss",
+                           plan_was_cached ? "hit" : "miss");
+
+    outcome.placement = place_macros(design, *context, options, std::nullopt, &artifacts);
+    outcome.status = outcome.placement.status;
+
+    // Donate this run's precomputes -- only from a completed run; a
+    // stopped run's curves are partial-quality and must never serve a
+    // future hit (place_macros also refuses to export them).
+    if (outcome.status == JobStatus::Completed) {
+      if (!curves_were_cached) cache_.store_curves(curves_key, artifacts.shape_curves);
+      if (!plan_was_cached) cache_.store_plan(plan_key, artifacts.recursion_plan);
+    }
+
+    outcome.curves_cached = curves_were_cached;
+    outcome.plan_cached = plan_was_cached;
+  } catch (const std::exception& e) {
+    outcome.status = JobStatus::Failed;
+    outcome.error = e.what();
+    control->post_progress("job %s failed: %s", spec.id.c_str(), e.what());
+  }
+
+  // Detach the job-scoped sink so a caller-owned control cannot call
+  // into a dead consumer after run() returns.
+  if (spec.progress) control->set_progress_sink(nullptr);
+  outcome.seconds = timer.seconds();
+  return outcome;
+}
+
+}  // namespace hidap

@@ -1,0 +1,42 @@
+#include "util/job_control.hpp"
+
+#include <cstdio>
+
+namespace hidap {
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::Completed: return "completed";
+    case JobStatus::Cancelled: return "cancelled";
+    case JobStatus::DeadlineExpired: return "deadline_expired";
+    case JobStatus::Failed: return "failed";
+  }
+  return "unknown";
+}
+
+JobStatus status_from_stop(JobStopReason reason) {
+  switch (reason) {
+    case JobStopReason::None: return JobStatus::Completed;
+    case JobStopReason::Cancelled: return JobStatus::Cancelled;
+    case JobStopReason::DeadlineExpired: return JobStatus::DeadlineExpired;
+  }
+  return JobStatus::Completed;
+}
+
+void JobControl::set_progress_sink(ProgressSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  sink_ = std::move(sink);
+}
+
+void JobControl::post_progress(const char* fmt, ...) {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  if (!sink_) return;
+  char buffer[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  sink_(std::string(buffer));
+}
+
+}  // namespace hidap

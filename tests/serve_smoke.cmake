@@ -1,0 +1,108 @@
+# End-to-end smoke test for the placement service: generate a design
+# with hidap_cli, then drive hidap_serve over the JSON line protocol --
+# a completed job, a warm repeat of it (cache hits), a job with a tiny
+# deadline, and stats -- and check the hidap_cli --timeout-s exit-code
+# contract. Run as
+#   cmake -DHIDAP_CLI=... -DHIDAP_SERVE=... -DWORK_DIR=... -P serve_smoke.cmake
+
+foreach(var HIDAP_CLI HIDAP_SERVE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "serve_smoke: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND ${HIDAP_CLI} gen -o serve.v --cells 1200 --macros 6 --seed 7
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE rv OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "serve_smoke gen failed (exit ${rv}):\n${out}\n${err}")
+endif()
+
+# One request per line; EOF after the quit. The warm job repeats the
+# cold job's key fields exactly, so every artifact must come from cache;
+# the drain between them sequences the donation (jobs are concurrent by
+# default).
+set(requests "")
+string(APPEND requests "{\"op\":\"place\",\"id\":\"cold\",\"verilog\":\"serve.v\",\"out\":\"cold.def\",\"seed\":7,\"effort\":0.05}\n")
+string(APPEND requests "{\"op\":\"drain\"}\n")
+string(APPEND requests "{\"op\":\"place\",\"id\":\"warm\",\"verilog\":\"serve.v\",\"out\":\"warm.def\",\"seed\":7,\"effort\":0.05}\n")
+string(APPEND requests "{\"op\":\"place\",\"id\":\"rushed\",\"verilog\":\"serve.v\",\"out\":\"rushed.def\",\"seed\":8,\"effort\":0.05,\"timeout_s\":0.0001}\n")
+string(APPEND requests "{\"op\":\"drain\"}\n")
+string(APPEND requests "{\"op\":\"stats\"}\n")
+string(APPEND requests "{\"op\":\"quit\"}\n")
+file(WRITE "${WORK_DIR}/requests.jsonl" "${requests}")
+
+execute_process(
+  COMMAND ${HIDAP_SERVE}
+  WORKING_DIRECTORY ${WORK_DIR}
+  INPUT_FILE ${WORK_DIR}/requests.jsonl
+  RESULT_VARIABLE rv OUTPUT_VARIABLE events ERROR_VARIABLE err
+  TIMEOUT 300)
+message(STATUS "serve_smoke events:\n${events}")
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "serve_smoke: hidap_serve failed (exit ${rv}):\n${err}")
+endif()
+
+function(require_event pattern what)
+  if(NOT events MATCHES "${pattern}")
+    message(FATAL_ERROR "serve_smoke: missing ${what} in events:\n${events}")
+  endif()
+endfunction()
+
+require_event("\"event\":\"accepted\",\"id\":\"cold\"" "cold acceptance")
+require_event("\"event\":\"done\",\"id\":\"cold\",\"status\":\"completed\"" "cold completion")
+require_event("\"event\":\"done\",\"id\":\"warm\",\"status\":\"completed\"" "warm completion")
+require_event("\"id\":\"warm\"[^\n]*\"design_cached\":true" "warm design cache hit")
+require_event("\"id\":\"warm\"[^\n]*\"curves_cached\":true" "warm curve cache hit")
+require_event("\"id\":\"warm\"[^\n]*\"plan_cached\":true" "warm plan cache hit")
+require_event("\"event\":\"done\",\"id\":\"rushed\",\"status\":\"deadline_expired\"" "deadline expiry")
+require_event("\"event\":\"drained\"" "drain acknowledgement")
+require_event("\"event\":\"stats\"" "stats event")
+require_event("\"event\":\"bye\"" "shutdown event")
+
+foreach(def cold.def warm.def rushed.def)
+  if(NOT EXISTS "${WORK_DIR}/${def}")
+    message(FATAL_ERROR "serve_smoke: ${def} was not written")
+  endif()
+endforeach()
+
+# Warm-vs-cold byte identity: the cached artifacts must reproduce the
+# cold job's DEF exactly.
+file(READ "${WORK_DIR}/cold.def" cold_def)
+file(READ "${WORK_DIR}/warm.def" warm_def)
+if(NOT cold_def STREQUAL warm_def)
+  message(FATAL_ERROR "serve_smoke: warm DEF differs from cold DEF")
+endif()
+
+# The partial (deadline-expired) DEF is still a full component list.
+file(READ "${WORK_DIR}/rushed.def" rushed_def)
+if(NOT rushed_def MATCHES "COMPONENTS")
+  message(FATAL_ERROR "serve_smoke: rushed.def has no COMPONENTS section")
+endif()
+
+# CLI deadline contract: --timeout-s expiry exits 4, still writes DEF.
+execute_process(
+  COMMAND ${HIDAP_CLI} place -i serve.v -o cli_rushed.def --effort 0.05 --timeout-s 0.0001
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE rv OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rv EQUAL 4)
+  message(FATAL_ERROR "serve_smoke: expected exit 4 for an expired --timeout-s, got ${rv}:\n${out}\n${err}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/cli_rushed.def")
+  message(FATAL_ERROR "serve_smoke: cli_rushed.def was not written on deadline expiry")
+endif()
+
+# And a comfortable deadline completes with exit 0.
+execute_process(
+  COMMAND ${HIDAP_CLI} place -i serve.v -o cli_ok.def --effort 0.05 --timeout-s 600
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE rv OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "serve_smoke: --timeout-s 600 run should complete with exit 0, got ${rv}:\n${out}\n${err}")
+endif()
+
+message(STATUS "serve_smoke: protocol round-trip, cache identity and deadline contract OK")

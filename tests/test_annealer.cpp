@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include "floorplan/annealer.hpp"
+#include "util/job_control.hpp"
 
 namespace hidap {
 namespace {
@@ -165,6 +168,96 @@ TEST(Annealer, AcceptsDownhillAlways) {
   hooks.reject = [&]() { FAIL() << "downhill move rejected"; };
   const AnnealStats stats = anneal(100.0, opt, hooks);
   EXPECT_EQ(stats.moves_accepted, stats.moves_attempted);
+}
+
+TEST(AnnealerCancel, PreCancelledRunsNoMoves) {
+  JobControl control;
+  control.request_cancel();
+  Bowl bowl;
+  AnnealOptions opt;
+  opt.control = &control;
+  AnnealHooks hooks;
+  hooks.propose = [&]() {
+    bowl.backup = bowl.x;
+    bowl.x += bowl.rng.next_bool() ? 1 : -1;
+    return bowl.cost();
+  };
+  hooks.reject = [&]() { bowl.x = bowl.backup; };
+  const AnnealStats stats = anneal(bowl.cost(), opt, hooks);
+  EXPECT_TRUE(stats.stopped);
+  EXPECT_EQ(stats.moves_attempted, 0);
+  EXPECT_DOUBLE_EQ(stats.best_cost, stats.initial_cost);
+}
+
+TEST(AnnealerCancel, MidScheduleCancelStopsWithinOneMove) {
+  // Cancel from inside the Nth proposal: the engine must settle that
+  // move (commit or reject, so the caller's state stays consistent) and
+  // then return without proposing another.
+  JobControl control;
+  Bowl bowl;
+  long proposals = 0;
+  const long cancel_at = 120;
+  AnnealOptions opt;
+  opt.control = &control;
+  opt.moves_per_temperature = 500;
+  AnnealHooks hooks;
+  hooks.propose = [&]() {
+    if (++proposals == cancel_at) control.request_cancel();
+    bowl.backup = bowl.x;
+    bowl.x += bowl.rng.next_bool() ? 1 : -1;
+    return bowl.cost();
+  };
+  hooks.reject = [&]() { bowl.x = bowl.backup; };
+  const AnnealStats stats = anneal(bowl.cost(), opt, hooks);
+  EXPECT_TRUE(stats.stopped);
+  EXPECT_EQ(proposals, cancel_at);
+}
+
+TEST(AnnealerCancel, NullAndUncancelledControlAreBitIdentical) {
+  // The cancellation predicate must not perturb the RNG stream: a null
+  // control, an idle control, and the pre-cancellation engine all walk
+  // the same trajectory.
+  const auto run = [](const JobControl* control) {
+    Bowl bowl;
+    AnnealOptions opt;
+    opt.seed = 17;
+    opt.control = control;
+    AnnealHooks hooks;
+    hooks.propose = [&]() {
+      bowl.backup = bowl.x;
+      bowl.x += bowl.rng.next_bool() ? 1 : -1;
+      return bowl.cost();
+    };
+    hooks.reject = [&]() { bowl.x = bowl.backup; };
+    const AnnealStats stats = anneal(bowl.cost(), opt, hooks);
+    EXPECT_FALSE(stats.stopped);
+    return std::make_pair(stats.best_cost, stats.moves_attempted);
+  };
+  JobControl idle;
+  EXPECT_EQ(run(nullptr), run(&idle));
+}
+
+TEST(AnnealerCancel, ExpiredDeadlineStopsMultichain) {
+  JobControl control;
+  control.set_deadline(Deadline::after_seconds(0.0));
+  AnnealOptions opt;
+  opt.control = &control;
+  opt.chains = 3;
+  const AnnealStats stats = anneal_multichain(opt, [](int, std::uint64_t seed) {
+    auto bowl = std::make_shared<Bowl>();
+    bowl->rng = Rng(seed);
+    AnnealChain chain;
+    chain.initial_cost = bowl->cost();
+    chain.hooks.propose = [bowl]() {
+      bowl->backup = bowl->x;
+      bowl->x += bowl->rng.next_bool() ? 1 : -1;
+      return bowl->cost();
+    };
+    chain.hooks.reject = [bowl]() { bowl->x = bowl->backup; };
+    return chain;
+  });
+  EXPECT_TRUE(stats.stopped);
+  EXPECT_EQ(stats.moves_attempted, 0);
 }
 
 }  // namespace

@@ -63,9 +63,9 @@ TEST(Preplaced, HonoredExactly) {
   HiDaPOptions o = quick();
   const MacroDef& def0 = fx.d.macro_def_of(macros[0]);
   const MacroDef& def1 = fx.d.macro_def_of(macros[1]);
-  o.preplaced.push_back(
+  o.job.preplaced.push_back(
       {macros[0], Rect{0, 0, def0.w, def0.h}, Orientation::R0});
-  o.preplaced.push_back({macros[1],
+  o.job.preplaced.push_back({macros[1],
                          Rect{fx.d.die().w - def1.w, fx.d.die().h - def1.h, def1.w,
                               def1.h},
                          Orientation::MX});
@@ -75,9 +75,9 @@ TEST(Preplaced, HonoredExactly) {
   const MacroPlacement* p1 = r.find(macros[1]);
   ASSERT_NE(p0, nullptr);
   ASSERT_NE(p1, nullptr);
-  EXPECT_EQ(p0->rect, o.preplaced[0].rect);
+  EXPECT_EQ(p0->rect, o.job.preplaced[0].rect);
   EXPECT_EQ(p0->orientation, Orientation::R0);
-  EXPECT_EQ(p1->rect, o.preplaced[1].rect);
+  EXPECT_EQ(p1->rect, o.job.preplaced[1].rect);
   EXPECT_EQ(p1->orientation, Orientation::MX);
 }
 
@@ -88,7 +88,7 @@ TEST(Preplaced, RemainingMacrosAvoidFixedOnes) {
   const MacroDef& def0 = fx.d.macro_def_of(macros[0]);
   const Rect center{fx.d.die().w / 2 - def0.w / 2, fx.d.die().h / 2 - def0.h / 2,
                     def0.w, def0.h};
-  o.preplaced.push_back({macros[0], center, Orientation::R0});
+  o.job.preplaced.push_back({macros[0], center, Orientation::R0});
   const PlacementResult r = place_macros(fx.d, fx.ctx, o);
   EXPECT_NEAR(total_overlap(r.macros, 0.0), 0.0, 1e-6);
 }
@@ -98,7 +98,7 @@ TEST(Preplaced, AllMacrosPreplacedIsIdentity) {
   // First run free, then feed the result back as fully preplaced.
   const PlacementResult free_run = place_macros(fx.d, fx.ctx, quick());
   HiDaPOptions o = quick();
-  o.preplaced = free_run.macros;
+  o.job.preplaced = free_run.macros;
   const PlacementResult pinned = place_macros(fx.d, fx.ctx, o);
   ASSERT_EQ(pinned.macros.size(), free_run.macros.size());
   for (const MacroPlacement& m : free_run.macros) {

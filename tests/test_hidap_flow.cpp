@@ -21,7 +21,7 @@ const int kForcedPoolLanes = test_support::force_pool_lanes();
 
 HiDaPOptions quick_options(std::uint64_t seed = 1) {
   HiDaPOptions o;
-  o.seed = seed;
+  o.job.seed = seed;
   o.layout_anneal.moves_per_temperature = 80;
   o.layout_anneal.cooling = 0.8;
   o.layout_anneal.max_stagnant_temperatures = 4;

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <vector>
 
+#include "util/job_control.hpp"
 #include "util/rng.hpp"
 #include "util/string_utils.hpp"
 #include "util/timer.hpp"
@@ -112,6 +115,97 @@ TEST(Timer, MeasuresNonNegative) {
   for (int i = 0; i < 10000; ++i) sink = sink + i;
   EXPECT_GE(t.seconds(), 0.0);
   EXPECT_GE(t.milliseconds(), t.seconds());
+}
+
+TEST(DeadlineTest, NeverNeverExpires) {
+  const Deadline d = Deadline::never();
+  EXPECT_TRUE(d.is_never());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.ticks(), Deadline::kNeverTicks);
+  EXPECT_GT(d.remaining_seconds(), 1e18);
+}
+
+TEST(DeadlineTest, FutureDeadlineNotYetExpired) {
+  const Deadline d = Deadline::after_seconds(3600.0);
+  EXPECT_FALSE(d.is_never());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 3000.0);
+  EXPECT_LE(d.remaining_seconds(), 3600.0);
+}
+
+TEST(DeadlineTest, NonPositiveBudgetAlreadyExpired) {
+  EXPECT_TRUE(Deadline::after_seconds(0.0).expired());
+  EXPECT_TRUE(Deadline::after_seconds(-5.0).expired());
+  EXPECT_LE(Deadline::after_seconds(0.0).remaining_seconds(), 0.0);
+}
+
+TEST(DeadlineTest, HugeBudgetSaturatesToNever) {
+  EXPECT_TRUE(Deadline::after_seconds(1e300).is_never());
+}
+
+TEST(DeadlineTest, TicksRoundTrip) {
+  const Deadline d = Deadline::after_seconds(60.0);
+  const Deadline back = Deadline::from_ticks(d.ticks());
+  EXPECT_EQ(back.ticks(), d.ticks());
+  EXPECT_FALSE(back.expired());
+}
+
+TEST(JobControlTest, DefaultNeverStops) {
+  JobControl control;
+  EXPECT_FALSE(control.should_stop());
+  EXPECT_FALSE(control.cancel_requested());
+  EXPECT_FALSE(control.deadline_expired());
+  EXPECT_EQ(control.stop_reason(), JobStopReason::None);
+}
+
+TEST(JobControlTest, CancelIsSticky) {
+  JobControl control;
+  control.request_cancel();
+  EXPECT_TRUE(control.should_stop());
+  EXPECT_TRUE(control.should_stop());  // stays true
+  EXPECT_EQ(control.stop_reason(), JobStopReason::Cancelled);
+}
+
+TEST(JobControlTest, ExpiredDeadlineStops) {
+  JobControl control;
+  control.set_deadline(Deadline::after_seconds(0.0));
+  EXPECT_TRUE(control.should_stop());
+  EXPECT_EQ(control.stop_reason(), JobStopReason::DeadlineExpired);
+  // Disarming un-stops (the job had not observed the stop yet).
+  control.set_deadline(Deadline::never());
+  EXPECT_FALSE(control.should_stop());
+}
+
+TEST(JobControlTest, CancelWinsOverDeadline) {
+  JobControl control;
+  control.set_deadline(Deadline::after_seconds(0.0));
+  control.request_cancel();
+  EXPECT_EQ(control.stop_reason(), JobStopReason::Cancelled);
+}
+
+TEST(JobControlTest, StatusStrings) {
+  EXPECT_STREQ(to_string(JobStatus::Completed), "completed");
+  EXPECT_STREQ(to_string(JobStatus::Cancelled), "cancelled");
+  EXPECT_STREQ(to_string(JobStatus::DeadlineExpired), "deadline_expired");
+  EXPECT_STREQ(to_string(JobStatus::Failed), "failed");
+  EXPECT_EQ(status_from_stop(JobStopReason::None), JobStatus::Completed);
+  EXPECT_EQ(status_from_stop(JobStopReason::Cancelled), JobStatus::Cancelled);
+  EXPECT_EQ(status_from_stop(JobStopReason::DeadlineExpired),
+            JobStatus::DeadlineExpired);
+}
+
+TEST(JobControlTest, ProgressSinkReceivesFormattedLines) {
+  JobControl control;
+  std::vector<std::string> lines;
+  control.set_progress_sink([&lines](const std::string& s) { lines.push_back(s); });
+  control.post_progress("pass %d of %d", 2, 8);
+  control.post_progress("plain");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "pass 2 of 8");
+  EXPECT_EQ(lines[1], "plain");
+  control.set_progress_sink(nullptr);
+  control.post_progress("dropped");  // must not crash
+  EXPECT_EQ(lines.size(), 2u);
 }
 
 }  // namespace
