@@ -23,8 +23,11 @@
 
 #include "eval/flows.hpp"
 #include "gen/suite.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/log.hpp"
+#include "util/timer.hpp"
 
 namespace hidap::benchutil {
 
@@ -85,24 +88,62 @@ inline FlowOptions bench_flow_options(std::uint64_t seed = 1) {
   return o;
 }
 
+/// Tracing knobs for suite benches: HIDAP_TRACE_JSON=path enables the
+/// phase tracer for the whole run and exports a Chrome trace when
+/// finish_suite_observability() runs; HIDAP_PHASE_SUMMARY=1 prints the
+/// per-phase self-time table. Purely observability: suite results are
+/// byte-identical either way.
+inline void init_suite_observability() {
+  if (std::getenv("HIDAP_TRACE_JSON") != nullptr ||
+      (std::getenv("HIDAP_PHASE_SUMMARY") != nullptr &&
+       std::string(std::getenv("HIDAP_PHASE_SUMMARY")) != "0")) {
+    obs::set_tracing_enabled(true);
+  }
+}
+
+inline void finish_suite_observability() {
+  if (const char* path = std::getenv("HIDAP_TRACE_JSON")) {
+    std::string error;
+    if (obs::Tracer::instance().export_chrome_trace(path, &error)) {
+      std::printf("wrote %s\n", path);
+    } else {
+      std::fprintf(stderr, "trace export failed: %s\n", error.c_str());
+    }
+  }
+  const char* summary = std::getenv("HIDAP_PHASE_SUMMARY");
+  if (summary != nullptr && std::string(summary) != "0") {
+    std::fputs(obs::phase_summary().c_str(), stdout);
+  }
+}
+
 /// Parallel suite driver: generates every circuit and runs the 3-flow
 /// comparison, sharded across the global thread pool (circuits and the
 /// sweeps inside each flow nest on the same pool). Results come back in
 /// suite order and are bit-identical at any HIDAP_THREADS setting; only
 /// the wall clock changes. Per-circuit progress goes through the
-/// mutex-serialized util/log progress channel so parallel runs never
-/// interleave lines with the stdout tables.
+/// mutex-serialized util/log progress channel AND the process metric
+/// registry (bench.circuits / bench.circuit_s), so suite walls are
+/// machine-readable next to the human progress lines.
 inline std::vector<FlowComparison> run_suite_flows(const std::vector<SuiteEntry>& suite,
                                                    const char* tag) {
+  init_suite_observability();
   std::vector<FlowComparison> results(suite.size());
+  obs::Histogram& circuit_wall = obs::default_registry().histogram(
+      "bench.circuit_s", {1, 5, 15, 60, 300, 1800});
+  obs::Counter& circuits_done = obs::default_registry().counter("bench.circuits");
   parallel_for(suite.size(), [&](std::size_t i) {
     const CircuitSpec& spec = suite[i].spec;
     log_progress("[%s] running %s (%d macros, %d cells)...", tag, spec.name.c_str(),
                  spec.macro_count, spec.target_cells);
+    const Timer circuit_timer;
     const Design design = generate_circuit(spec);
     results[i] = compare_flows(design, bench_flow_options());
-    log_progress("[%s] %s done", tag, spec.name.c_str());
+    const double seconds = circuit_timer.seconds();
+    circuit_wall.record(seconds);
+    circuits_done.add(1);
+    log_progress("[%s] %s done in %.1fs", tag, spec.name.c_str(), seconds);
   });
+  finish_suite_observability();
   return results;
 }
 

@@ -20,6 +20,8 @@
 #include "floorplan/budget_layout.hpp"
 #include "floorplan/incremental_eval.hpp"
 #include "gen/suite.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -441,6 +443,49 @@ void BM_ParallelForHpwlKernel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ParallelForHpwlKernel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// --- observability overhead kernels (ISSUE 7 gate: a span site with
+// tracing disabled must cost one relaxed load + branch -- i.e. within
+// noise of the PR 6 baseline for any instrumented loop).
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::set_tracing_enabled(false);
+  for (auto _ : state) {
+    obs::Span span("bench_span", "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::set_tracing_enabled(true);
+  for (auto _ : state) {
+    obs::Span span("bench_span", "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::set_tracing_enabled(false);
+  obs::Tracer::instance().clear();
+}
+BENCHMARK(BM_ObsSpanEnabled);
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::Counter& counter = obs::default_registry().counter("bench.obs_counter");
+  for (auto _ : state) {
+    counter.add(1);
+  }
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::Histogram& hist = obs::default_registry().histogram(
+      "bench.obs_hist", {1, 10, 100, 1000, 10000});
+  double v = 0.5;
+  for (auto _ : state) {
+    hist.record(v);
+    v = v < 20000 ? v * 3 : 0.5;
+  }
+}
+BENCHMARK(BM_ObsHistogramRecord);
 
 }  // namespace
 

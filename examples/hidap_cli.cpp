@@ -26,6 +26,8 @@
 #include "netlist/def_io.hpp"
 #include "netlist/verilog_parser.hpp"
 #include "netlist/verilog_writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/log.hpp"
 #include "viz/svg.hpp"
@@ -38,6 +40,7 @@ struct Args {
   std::string command;
   std::string input, output, placement, svg, csv, fix;
   std::string cancel_file;
+  std::string trace_json, metrics_json, log_level;
   double lambda = 0.5, k = 2.0, halo = 0.0, effort = 1.0;
   double timeout_s = 0.0;
   std::uint64_t seed = 1;
@@ -47,6 +50,7 @@ struct Args {
   bool parallel_levels = true;
   bool legacy_estimate_order = false;
   bool lazy_affinity = false;
+  bool phase_summary = false;
 };
 
 [[noreturn]] void usage() {
@@ -77,7 +81,16 @@ struct Args {
                "               (sequential only; a different, golden-pinned result)\n"
                "  --lazy-affinity  tree-shaped affinity term reduction (O(log n)\n"
                "               per touched pair; changes SA trajectories in the\n"
-               "               last ulp -- experimental groundwork)\n");
+               "               last ulp -- experimental groundwork)\n"
+               "  --log-level {debug,info,warn,error}  console verbosity\n"
+               "               (default warn; progress lines are always on)\n"
+               "  observability (any command; placements are byte-identical\n"
+               "  with tracing on or off):\n"
+               "  --trace-json PATH    enable phase tracing, write a Chrome\n"
+               "               trace_event JSON (load in Perfetto / about:tracing)\n"
+               "  --phase-summary      enable tracing, print per-phase self-time\n"
+               "  --metrics-json PATH  write the process metric registry as one\n"
+               "               flat JSON object\n");
   std::exit(2);
 }
 
@@ -112,6 +125,10 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--no-parallel-levels") args.parallel_levels = false;
     else if (flag == "--legacy-estimate-order") args.legacy_estimate_order = true;
     else if (flag == "--lazy-affinity") args.lazy_affinity = true;
+    else if (flag == "--trace-json") args.trace_json = next();
+    else if (flag == "--metrics-json") args.metrics_json = next();
+    else if (flag == "--phase-summary") args.phase_summary = true;
+    else if (flag == "--log-level") args.log_level = next();
     else usage();
   }
   return args;
@@ -238,19 +255,63 @@ int cmd_gen(const Args& args) {
 
 }  // namespace
 
+namespace {
+
+// After the command: trace/metric exports requested by the flags. Never
+// changes the exit code -- observability output must not fail a script
+// whose placement succeeded -- but export errors go to stderr.
+void export_observability(const Args& args) {
+  if (!args.trace_json.empty()) {
+    std::string error;
+    if (obs::Tracer::instance().export_chrome_trace(args.trace_json, &error)) {
+      std::printf("wrote %s\n", args.trace_json.c_str());
+    } else {
+      std::fprintf(stderr, "trace export failed: %s\n", error.c_str());
+    }
+  }
+  if (args.phase_summary) {
+    std::fputs(obs::phase_summary().c_str(), stdout);
+  }
+  if (!args.metrics_json.empty()) {
+    std::ofstream out(args.metrics_json, std::ios::binary);
+    out << obs::default_registry().to_json() << "\n";
+    if (out.good()) {
+      std::printf("wrote %s\n", args.metrics_json.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", args.metrics_json.c_str());
+    }
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   set_log_level(LogLevel::Warn);
   const Args args = parse_args(argc, argv);
+  if (!args.log_level.empty()) {
+    if (args.log_level == "debug") set_log_level(LogLevel::Debug);
+    else if (args.log_level == "info") set_log_level(LogLevel::Info);
+    else if (args.log_level == "warn") set_log_level(LogLevel::Warn);
+    else if (args.log_level == "error") set_log_level(LogLevel::Error);
+    else usage();
+  }
+  // Tracing must be live before the pool spins up / the command runs so
+  // every span and pool task is captured. Placements are byte-identical
+  // either way (observability never touches the RNG streams).
+  if (!args.trace_json.empty() || args.phase_summary) obs::set_tracing_enabled(true);
   // Size the global pool before any parallel section runs.
   if (args.threads > 0) ThreadPool::set_default_thread_count(args.threads);
+  int code = 2;
   try {
-    if (args.command == "place") return cmd_place(args);
-    if (args.command == "eval") return cmd_eval(args);
-    if (args.command == "flows") return cmd_flows(args);
-    if (args.command == "gen") return cmd_gen(args);
+    if (args.command == "place") code = cmd_place(args);
+    else if (args.command == "eval") code = cmd_eval(args);
+    else if (args.command == "flows") code = cmd_flows(args);
+    else if (args.command == "gen") code = cmd_gen(args);
+    else usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  usage();
+  export_observability(args);
+  return code;
 }

@@ -13,15 +13,19 @@
 //   {"op":"cancel","id":"j1"}
 //   {"op":"drain"}          (wait for every outstanding job)
 //   {"op":"stats"}
+//   {"op":"metrics"}        (process-global metric registry snapshot)
 //   {"op":"quit"}           (EOF behaves like quit)
 //
 // Events:
 //   {"event":"accepted","id":"j1"}
 //   {"event":"progress","id":"j1","message":"..."}       (opt-in)
 //   {"event":"done","id":"j1","status":"completed","seconds":...,
-//    "macros":N,"def":"j1.def","design_cached":false,...}
+//    "macros":N,"def":"j1.def","design_cached":false,...,
+//    "phase_curves_s":...,"phase_recursion_s":...,...}
 //   {"event":"drained"}
-//   {"event":"stats","active":1,"design_hits":...,...}
+//   {"event":"stats","active":1,"design_hits":...,"design_waits":...,
+//    "jobs_completed":...,"jobs_cancelled":...,...}
+//   {"event":"metrics","sa.moves_proposed":...,...}  (flat, dotted names)
 //   {"event":"error","message":"..."}
 //   {"event":"bye"}
 //
@@ -41,6 +45,7 @@
 #include <vector>
 
 #include "netlist/def_io.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 #include "service/json.hpp"
 #include "service/placement_session.hpp"
@@ -129,6 +134,10 @@ struct Server {
         done.boolean("context_cached", outcome.context_cached);
         done.boolean("curves_cached", outcome.curves_cached);
         done.boolean("plan_cached", outcome.plan_cached);
+        done.num("phase_curves_s", outcome.phase_curves_s);
+        done.num("phase_recursion_s", outcome.phase_recursion_s);
+        done.num("phase_flip_s", outcome.phase_flip_s);
+        done.num("phase_legalize_s", outcome.phase_legalize_s);
         if (!out_path.empty()) {
           try {
             write_def_file(*outcome.design, outcome.placement, out_path);
@@ -164,6 +173,7 @@ struct Server {
 
   void handle_stats() {
     const ArtifactCache::Stats s = session.cache_stats();
+    const PlacementSession::JobCounters jobs = session.job_counters();
     std::size_t active_count;
     {
       std::lock_guard<std::mutex> lock(jobs_mutex);
@@ -174,13 +184,30 @@ struct Server {
              .num("active", static_cast<std::uint64_t>(active_count))
              .num("design_hits", s.design_hits)
              .num("design_misses", s.design_misses)
+             .num("design_waits", s.design_waits)
              .num("context_hits", s.context_hits)
              .num("context_misses", s.context_misses)
+             .num("context_waits", s.context_waits)
              .num("curve_hits", s.curve_hits)
              .num("curve_misses", s.curve_misses)
              .num("plan_hits", s.plan_hits)
              .num("plan_misses", s.plan_misses)
+             .num("jobs_completed", jobs.completed)
+             .num("jobs_cancelled", jobs.cancelled)
+             .num("jobs_deadline_expired", jobs.deadline_expired)
+             .num("jobs_failed", jobs.failed)
              .finish());
+  }
+
+  // Point-in-time snapshot of the process-global metric registry as one
+  // flat event (histograms exploded into name.count / name.sum / ...).
+  void handle_metrics() {
+    JsonWriter w;
+    w.str("event", "metrics");
+    for (const auto& [name, value] : obs::default_registry().flat_values()) {
+      w.num(name, value);
+    }
+    emit(w.finish());
   }
 
   // Blocks until every outstanding job has reported done. Clients use
@@ -238,6 +265,7 @@ int main(int argc, char** argv) {
     else if (op == "cancel") server.handle_cancel(req);
     else if (op == "drain") server.handle_drain();
     else if (op == "stats") server.handle_stats();
+    else if (op == "metrics") server.handle_metrics();
     else if (op == "quit") break;
     else emit_error("unknown op \"" + op + "\"");
   }

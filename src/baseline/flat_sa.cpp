@@ -118,7 +118,9 @@ PlacementResult place_macros_flat_sa(const Design& design, const SeqGraph& seq,
   }
   hooks.on_new_best = [&](double) { best = state; };
 
-  anneal(initial, options.anneal, hooks);
+  AnnealOptions anneal_options = options.anneal;
+  anneal_options.obs_site = "anneal_flat";
+  anneal(initial, anneal_options, hooks);
 
   PlacementResult result;
   result.macros = std::move(best);

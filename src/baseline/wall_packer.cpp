@@ -203,7 +203,9 @@ PlacementResult place_macros_walls(const Design& design, const HierTree& ht,
   hooks.reject = [&]() { current = backup; };
   hooks.on_new_best = [&](double) { best = current; };
 
-  anneal(initial, options.anneal, hooks);
+  AnnealOptions anneal_options = options.anneal;
+  anneal_options.obs_site = "anneal_wall";
+  anneal(initial, anneal_options, hooks);
 
   PlacementResult result;
   result.macros = pack_ring(design, best, die, options.ring_margin);

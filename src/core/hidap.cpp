@@ -5,10 +5,29 @@
 
 #include "core/recursive_floorplan.hpp"
 #include "floorplan/legalizer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace hidap {
+
+namespace {
+
+// Once-per-phase wall clocks, flushed to the process registry and the
+// job's MetricScope (when one rides on the control). A handful of
+// counter adds per placement -- never on any per-move path.
+void post_phase_micros(const JobControl* control, const char* name, double seconds) {
+  const auto micros = static_cast<std::uint64_t>(seconds * 1e6);
+  obs::default_registry().counter(name).add(micros);
+  if (control != nullptr) {
+    if (obs::MetricsRegistry* job = control->job_metrics()) {
+      job->counter(name).add(micros);
+    }
+  }
+}
+
+}  // namespace
 
 PlacementResult place_macros(const Design& design, const HiDaPOptions& options,
                              std::optional<Rect> die_override) {
@@ -20,22 +39,41 @@ PlacementResult place_macros(const Design& design, const PlacementContext& conte
                              const HiDaPOptions& options,
                              std::optional<Rect> die_override,
                              PlacementArtifacts* artifacts) {
+  obs::Span place_span("place", "pipeline");
   Timer timer;
+  JobControl* control = options.job.control;
   const Rect die = die_override.value_or(Rect{0, 0, design.die().w, design.die().h});
   if (die.area() <= 0) throw std::invalid_argument("place_macros: empty die");
   if (design.macro_count() == 0) throw std::invalid_argument("place_macros: no macros");
 
   RecursiveFloorplanner floorplanner(design, context.adjacency, context.ht, context.seq,
                                      options);
+  bool curves_adopted = false;
   if (artifacts != nullptr) {
-    if (artifacts->shape_curves) floorplanner.adopt_shape_curves(*artifacts->shape_curves);
+    if (artifacts->shape_curves) {
+      floorplanner.adopt_shape_curves(*artifacts->shape_curves);
+      curves_adopted = true;
+    }
     if (artifacts->recursion_plan) {
       floorplanner.adopt_recursion_plan(*artifacts->recursion_plan);
     }
   }
-  PlacementResult result = floorplanner.run(die);
+  // Run curve generation eagerly (run() would do it lazily with the same
+  // per-node seeds, so this is bit-identical) to give the phase its own
+  // wall clock. Adopted curves cost nothing and report nothing.
+  if (!curves_adopted) {
+    Timer curves_timer;
+    floorplanner.generate_shape_curves();
+    post_phase_micros(control, "phase.curves_us", curves_timer.seconds());
+  }
+  Timer recursion_timer;
+  PlacementResult result;
+  {
+    obs::Span recursion_span("recursion", "pipeline");
+    result = floorplanner.run(die);
+  }
+  post_phase_micros(control, "phase.recursion_us", recursion_timer.seconds());
 
-  JobControl* control = options.job.control;
   const bool stopped = control != nullptr && control->should_stop();
   if (artifacts != nullptr && !stopped) {
     // Export this run's precomputes for the caller to cache. Stopped
@@ -69,18 +107,26 @@ PlacementResult place_macros(const Design& design, const PlacementContext& conte
 
   std::set<CellId> preplaced;
   for (const MacroPlacement& m : options.job.preplaced) preplaced.insert(m.cell);
-  flip_macros(design, context.ht, floorplanner.region_of_node(),
-              floorplanner.region_valid(), result.macros, options.flipping_passes,
-              preplaced.empty() ? nullptr : &preplaced);
+  {
+    obs::Span flip_span("flip", "pipeline");
+    Timer flip_timer;
+    flip_macros(design, context.ht, floorplanner.region_of_node(),
+                floorplanner.region_valid(), result.macros, options.flipping_passes,
+                preplaced.empty() ? nullptr : &preplaced);
+    post_phase_micros(control, "phase.flip_us", flip_timer.seconds());
+  }
 
   // Final legality pass: snapping and preplacement can leave small
   // overlaps or halo violations; clean them with minimal displacement.
   if (options.macro_halo > 0.0 ||
       total_overlap(result.macros, options.macro_halo) > 0.0) {
+    obs::Span legalize_span("legalize", "pipeline");
+    Timer legalize_timer;
     LegalizeOptions legal;
     legal.halo = options.macro_halo;
     legal.fixed = preplaced;
     legalize_macros(design, result.macros, legal);
+    post_phase_micros(control, "phase.legalize_us", legalize_timer.seconds());
   }
 
   // A stop requested after the recursion finished still reports its

@@ -97,6 +97,7 @@ LayoutSolution optimize_layout(const LayoutProblem& problem,
   AnnealOptions opts = anneal_options;
   opts.moves_per_temperature =
       std::max(opts.moves_per_temperature, static_cast<int>(n) * 12);
+  opts.obs_site = "anneal_layout";
 
   // Chain-local SA state; chain c only ever touches states[c], so the
   // chains can run on pool threads without synchronization. Both

@@ -10,6 +10,7 @@
 #include "core/decluster.hpp"
 #include "core/layout_optimizer.hpp"
 #include "core/target_area.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/log.hpp"
 
@@ -42,6 +43,7 @@ void RecursiveFloorplanner::adopt_recursion_plan(const RecursionPlan& plan) {
 }
 
 void RecursiveFloorplanner::generate_shape_curves() {
+  obs::Span span("shape_curves", "scheduler");
   // A node's curve depends only on its children's, which sit strictly
   // deeper, so the bottom-up sweep is sharded by tree depth: every rank
   // runs as one parallel_for over its nodes. Each node derives its SA
@@ -177,6 +179,10 @@ void RecursiveFloorplanner::floorplan_level(HtNodeId nh, const Rect& region, int
                                             const EstimateSnapshot& inherited,
                                             SubtreeResult& out) {
   store_.set_region(nh, region);
+  obs::Span span("level", "scheduler");
+  span.arg("ordinal",
+           static_cast<std::int64_t>(plan_[static_cast<std::size_t>(nh)].ordinal));
+  span.arg("depth", depth);
   JobControl* control = options_.job.control;
   if (control != nullptr && control->should_stop()) {
     // Cancelled / past deadline: the whole subtree degrades to the

@@ -4,14 +4,46 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/job_control.hpp"
 #include "util/log.hpp"
 
 namespace hidap {
 
+namespace {
+
+// One flush per completed schedule: the move loop keeps its counts in
+// AnnealStats exactly as before (zero added work per move) and the
+// totals land in the process registry -- and the job's MetricScope when
+// one rides on the control -- only here.
+void flush_anneal_metrics(const AnnealOptions& options, const AnnealStats& stats) {
+  obs::MetricsRegistry* targets[2] = {&obs::default_registry(), nullptr};
+  if (options.control != nullptr) targets[1] = options.control->job_metrics();
+  for (obs::MetricsRegistry* registry : targets) {
+    if (registry == nullptr) continue;
+    registry->counter("sa.runs").add(1);
+    registry->counter("sa.moves_proposed")
+        .add(static_cast<std::uint64_t>(stats.moves_attempted));
+    registry->counter("sa.moves_accepted")
+        .add(static_cast<std::uint64_t>(stats.moves_accepted));
+    registry->counter("sa.moves_rejected")
+        .add(static_cast<std::uint64_t>(stats.moves_attempted - stats.moves_accepted));
+    registry->counter("sa.best_improvements")
+        .add(static_cast<std::uint64_t>(stats.best_improvements));
+    registry->counter("sa.temperature_steps")
+        .add(static_cast<std::uint64_t>(stats.temperature_steps));
+    if (stats.stopped) registry->counter("sa.stopped_runs").add(1);
+  }
+}
+
+}  // namespace
+
 AnnealStats anneal(double initial_cost, const AnnealOptions& options,
                    const AnnealHooks& hooks) {
+  obs::Span span(options.obs_site != nullptr ? options.obs_site : "anneal", "sa");
+  span.arg("chain", options.obs_chain);
   Rng rng(options.seed);
   AnnealStats stats;
   stats.initial_cost = initial_cost;
@@ -29,23 +61,28 @@ AnnealStats anneal(double initial_cost, const AnnealOptions& options,
   // --- temperature calibration: average uphill magnitude of random moves.
   double uphill_sum = 0.0;
   int uphill_count = 0;
-  for (int i = 0; i < options.calibration_moves; ++i) {
-    if (stop_requested()) {
-      stats.stopped = true;
-      return stats;
-    }
-    const double cost = hooks.propose();
-    const double delta = cost - current;
-    if (delta > 0) {
-      uphill_sum += delta;
-      ++uphill_count;
-    }
-    // Accept everything during calibration (random walk), tracking best.
-    current = cost;
-    if (hooks.commit) hooks.commit();
-    if (anneal_improves_best(current, stats.best_cost)) {
-      stats.best_cost = current;
-      if (hooks.on_new_best) hooks.on_new_best(current);
+  {
+    obs::Span calibration_span("sa_calibrate", "sa");
+    for (int i = 0; i < options.calibration_moves; ++i) {
+      if (stop_requested()) {
+        stats.stopped = true;
+        flush_anneal_metrics(options, stats);
+        return stats;
+      }
+      const double cost = hooks.propose();
+      const double delta = cost - current;
+      if (delta > 0) {
+        uphill_sum += delta;
+        ++uphill_count;
+      }
+      // Accept everything during calibration (random walk), tracking best.
+      current = cost;
+      if (hooks.commit) hooks.commit();
+      if (anneal_improves_best(current, stats.best_cost)) {
+        stats.best_cost = current;
+        ++stats.best_improvements;
+        if (hooks.on_new_best) hooks.on_new_best(current);
+      }
     }
   }
   const double avg_uphill = uphill_count > 0 ? uphill_sum / uphill_count
@@ -57,6 +94,8 @@ AnnealStats anneal(double initial_cost, const AnnealOptions& options,
   int stagnant = 0;
   while (!stats.stopped && temperature > t_frozen &&
          stagnant < options.max_stagnant_temperatures) {
+    obs::Span temperature_span("sa_temp", "sa");
+    temperature_span.arg("step", stats.temperature_steps);
     bool improved = false;
     for (int m = 0; m < options.moves_per_temperature; ++m) {
       if (stop_requested()) {
@@ -74,6 +113,7 @@ AnnealStats anneal(double initial_cost, const AnnealOptions& options,
         if (anneal_improves_best(current, stats.best_cost)) {
           stats.best_cost = current;
           improved = true;
+          ++stats.best_improvements;
           if (hooks.on_new_best) hooks.on_new_best(current);
         }
       } else {
@@ -84,6 +124,7 @@ AnnealStats anneal(double initial_cost, const AnnealOptions& options,
     stagnant = improved ? 0 : stagnant + 1;
     temperature *= options.cooling;
   }
+  flush_anneal_metrics(options, stats);
   HIDAP_LOG_DEBUG("anneal: %ld/%ld accepted, %d temps, cost %.4g -> %.4g",
                   stats.moves_accepted, stats.moves_attempted, stats.temperature_steps,
                   stats.initial_cost, stats.best_cost);
@@ -105,6 +146,7 @@ AnnealStats anneal_multichain(
         AnnealChain chain = make_chain(static_cast<int>(c), seed);
         AnnealOptions chain_options = options;
         chain_options.seed = seed;
+        chain_options.obs_chain = static_cast<int>(c);
         stats[c] = anneal(chain.initial_cost, chain_options, chain.hooks);
       },
       max_threads);

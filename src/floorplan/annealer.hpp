@@ -55,6 +55,15 @@ struct AnnealOptions {
   /// stops -- bit-identical to the pre-cancellation engine, since the
   /// RNG stream is untouched by the extra predicate.
   const JobControl* control = nullptr;
+
+  /// Observability tag for this schedule's trace spans and counter
+  /// flush: a static string naming the call site ("anneal_layout",
+  /// "anneal_shape", "anneal_flat"; null = generic "anneal"). Purely
+  /// observability-side: never part of any cache key, never read by the
+  /// move loop, no effect on the RNG/accept stream.
+  const char* obs_site = nullptr;
+  /// Chain index tag for multi-chain runs (anneal_multichain sets it).
+  int obs_chain = 0;
 };
 
 /// A proposal must undercut the best cost by at least this margin before
@@ -89,6 +98,9 @@ struct AnnealStats {
   double best_cost = 0.0;
   long moves_attempted = 0;
   long moves_accepted = 0;
+  /// Times the best snapshot was refreshed (on_new_best fires),
+  /// calibration walk included.
+  long best_improvements = 0;
   int temperature_steps = 0;
   /// True when AnnealOptions::control stopped the schedule early; the
   /// best cost/solution seen so far is still valid.

@@ -92,6 +92,7 @@ ShapeCurve pack_shape_curve(const std::vector<ShapeCurve>& leaves,
   anneal_options.moves_per_temperature =
       std::max(anneal_options.moves_per_temperature,
                static_cast<int>(leaves.size()) * 8);
+  anneal_options.obs_site = "anneal_shape";
   anneal(initial_cost, anneal_options, hooks);
 
   ShapeCurve merged;

@@ -1,0 +1,175 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hidap::obs {
+
+std::size_t shard_index() {
+  // Round-robin by thread creation order: with <= kShards live threads
+  // (the common case -- pool lanes are bounded by core count) every
+  // writer owns a private cacheline.
+  static std::atomic<std::size_t> next{0};
+  static thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return slot;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  shards_ = std::vector<Shard>(kShards);
+  for (Shard& s : shards_) {
+    s.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::record(double value) {
+  // Bucket i takes bounds[i-1] < value <= bounds[i]; the trailing bucket
+  // is the overflow. lower_bound over a handful of doubles.
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin());
+  Shard& shard = shards_[shard_index()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  double sum = shard.sum.load(std::memory_order_relaxed);
+  while (!shard.sum.compare_exchange_weak(sum, sum + value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::read() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+      snap.counts[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (const std::uint64_t c : snap.counts) snap.count += c;
+  return snap;
+}
+
+void Histogram::reset() {
+  for (Shard& shard : shards_) {
+    for (std::atomic<std::uint64_t>& b : shard.buckets) {
+      b.store(0, std::memory_order_relaxed);
+    }
+    shard.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_.emplace(std::string(name), std::make_unique<Histogram>(bounds))
+              .first->second;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
+  std::vector<Sample> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    Sample s;
+    s.name = name;
+    s.kind = Sample::Kind::Counter;
+    s.counter = c->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    Sample s;
+    s.name = name;
+    s.kind = Sample::Kind::Gauge;
+    s.gauge = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    Sample s;
+    s.name = name;
+    s.kind = Sample::Kind::Histogram;
+    s.hist = h->read();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::flat_values() const {
+  std::vector<std::pair<std::string, double>> out;
+  for (const Sample& s : snapshot()) {
+    switch (s.kind) {
+      case Sample::Kind::Counter:
+        out.emplace_back(s.name, static_cast<double>(s.counter));
+        break;
+      case Sample::Kind::Gauge:
+        out.emplace_back(s.name, static_cast<double>(s.gauge));
+        break;
+      case Sample::Kind::Histogram: {
+        out.emplace_back(s.name + ".count", static_cast<double>(s.hist.count));
+        out.emplace_back(s.name + ".sum", s.hist.sum);
+        for (std::size_t b = 0; b < s.hist.bounds.size(); ++b) {
+          char key[64];
+          std::snprintf(key, sizeof(key), ".le_%g", s.hist.bounds[b]);
+          out.emplace_back(s.name + key, static_cast<double>(s.hist.counts[b]));
+        }
+        out.emplace_back(s.name + ".overflow",
+                         static_cast<double>(s.hist.counts.back()));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  // Metric names are generated in-library (dotted lowercase, no JSON
+  // metacharacters), so plain quoting suffices; the output is one flat
+  // object that service/json can parse back.
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : flat_values()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out += buf;
+  }
+  out += '}';
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& default_registry() {
+  // Intentionally leaked: pool threads may flush metrics during static
+  // teardown, after function-local statics would have been destroyed.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace hidap::obs

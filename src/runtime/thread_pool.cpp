@@ -2,14 +2,47 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <limits>
 #include <memory>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace hidap {
 
 namespace {
+
 std::atomic<int> g_default_override{0};
+
+std::int64_t pool_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Tracing-only queue instrumentation (enqueue checks tracing_enabled()
+// once): dispatch-to-start wait, task run time, and live queue depth.
+// Metric handles are created once; the wrapped closure only does two
+// clock reads and three sharded counter bumps around the task.
+std::function<void()> instrument_pool_task(std::function<void()> task) {
+  static obs::Histogram& queue_wait = obs::default_registry().histogram(
+      "pool.queue_wait_us", {10, 100, 1000, 10000, 100000, 1000000});
+  static obs::Histogram& task_us = obs::default_registry().histogram(
+      "pool.task_us", {100, 1000, 10000, 100000, 1000000, 10000000});
+  static obs::Gauge& depth = obs::default_registry().gauge("pool.queue_depth");
+  depth.add(1);
+  const std::int64_t enqueued_us = pool_now_us();
+  return [task = std::move(task), enqueued_us] {
+    const std::int64_t start_us = pool_now_us();
+    depth.add(-1);
+    queue_wait.record(static_cast<double>(start_us - enqueued_us));
+    task();
+    task_us.record(static_cast<double>(pool_now_us() - start_us));
+  };
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -41,6 +74,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  if (obs::tracing_enabled()) task = instrument_pool_task(std::move(task));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));

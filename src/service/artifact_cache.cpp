@@ -1,25 +1,47 @@
 #include "service/artifact_cache.hpp"
 
+#include <chrono>
+#include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/hash.hpp"
 
 namespace hidap {
+
+namespace {
+
+// Cache traffic is a few lookups per job, so bumping the process
+// registry inline (name lookup included) is fine here -- this is not a
+// hot path.
+void bump_cache_counter(const char* kind, const char* outcome) {
+  obs::default_registry()
+      .counter(std::string("cache.") + kind + "." + outcome)
+      .add(1);
+}
+
+}  // namespace
 
 template <typename T>
 std::shared_ptr<const T> ArtifactCache::single_flight(
     std::map<std::uint64_t, std::shared_future<std::shared_ptr<const T>>>& store,
     std::uint64_t key, std::uint64_t& hits, std::uint64_t& misses,
-    const std::function<T()>& make, bool* was_hit) {
+    std::uint64_t& waits, const char* kind, const std::function<T()>& make,
+    bool* was_hit) {
   std::promise<std::shared_ptr<const T>> promise;
   std::shared_future<std::shared_ptr<const T>> future;
   bool leader = false;
+  bool waited = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = store.find(key);
     if (it != store.end()) {
       ++hits;
       future = it->second;
+      // Not ready yet => this call parks behind the leader's
+      // computation rather than copying a finished pointer.
+      waited = future.wait_for(std::chrono::seconds(0)) != std::future_status::ready;
+      if (waited) ++waits;
     } else {
       ++misses;
       leader = true;
@@ -28,6 +50,8 @@ std::shared_ptr<const T> ArtifactCache::single_flight(
     }
   }
   if (was_hit != nullptr) *was_hit = !leader;
+  bump_cache_counter(kind, leader ? "miss" : "hit");
+  if (waited) bump_cache_counter(kind, "wait");
   if (leader) {
     try {
       promise.set_value(std::make_shared<const T>(make()));
@@ -46,14 +70,14 @@ std::shared_ptr<const T> ArtifactCache::single_flight(
 
 std::shared_ptr<const Design> ArtifactCache::design(
     std::uint64_t key, const std::function<Design()>& parse, bool* was_hit) {
-  return single_flight(designs_, key, stats_.design_hits, stats_.design_misses, parse,
-                       was_hit);
+  return single_flight(designs_, key, stats_.design_hits, stats_.design_misses,
+                       stats_.design_waits, "design", parse, was_hit);
 }
 
 std::shared_ptr<const PlacementContext> ArtifactCache::context(
     std::uint64_t key, const std::function<PlacementContext()>& build, bool* was_hit) {
-  return single_flight(contexts_, key, stats_.context_hits, stats_.context_misses, build,
-                       was_hit);
+  return single_flight(contexts_, key, stats_.context_hits, stats_.context_misses,
+                       stats_.context_waits, "context", build, was_hit);
 }
 
 std::shared_ptr<const std::vector<ShapeCurve>> ArtifactCache::find_curves(
@@ -62,9 +86,11 @@ std::shared_ptr<const std::vector<ShapeCurve>> ArtifactCache::find_curves(
   const auto it = curves_.find(key);
   if (it == curves_.end()) {
     ++stats_.curve_misses;
+    bump_cache_counter("curves", "miss");
     return nullptr;
   }
   ++stats_.curve_hits;
+  bump_cache_counter("curves", "hit");
   return it->second;
 }
 
@@ -80,9 +106,11 @@ std::shared_ptr<const RecursionPlan> ArtifactCache::find_plan(std::uint64_t key)
   const auto it = plans_.find(key);
   if (it == plans_.end()) {
     ++stats_.plan_misses;
+    bump_cache_counter("plan", "miss");
     return nullptr;
   }
   ++stats_.plan_hits;
+  bump_cache_counter("plan", "hit");
   return it->second;
 }
 

@@ -47,6 +47,10 @@ class ArtifactCache {
     std::uint64_t context_hits = 0, context_misses = 0;
     std::uint64_t curve_hits = 0, curve_misses = 0;
     std::uint64_t plan_hits = 0, plan_misses = 0;
+    /// Single-flight coalescing: hits whose future was not yet ready at
+    /// lookup, i.e. the caller parked behind a leader still computing.
+    /// Subset of the respective hit counts.
+    std::uint64_t design_waits = 0, context_waits = 0;
   };
 
   /// Returns the design for `key`, invoking `parse` exactly once per
@@ -92,7 +96,8 @@ class ArtifactCache {
   std::shared_ptr<const T> single_flight(
       std::map<std::uint64_t, std::shared_future<std::shared_ptr<const T>>>& store,
       std::uint64_t key, std::uint64_t& hits, std::uint64_t& misses,
-      const std::function<T()>& make, bool* was_hit);
+      std::uint64_t& waits, const char* kind, const std::function<T()>& make,
+      bool* was_hit);
 
   mutable std::mutex mutex_;
   Stats stats_;

@@ -89,7 +89,7 @@ bool parse_value(Cursor& c, JsonValue& out, std::string& error) {
   if (ch == '{' || ch == '[') {
     error = "nested objects/arrays are not part of the line protocol";
     return false;
-  }
+  }  // one level of object nesting is handled by the caller (dotted keys)
   if (c.consume_word("true")) {
     out.kind = JsonValue::Kind::Boolean;
     out.boolean = true;
@@ -142,9 +142,34 @@ bool parse_json_object(std::string_view text, JsonObject& out, std::string& erro
       error = "expected ':'";
       return false;
     }
-    JsonValue value;
-    if (!parse_value(c, value, error)) return false;
-    out[key] = std::move(value);
+    c.skip_ws();
+    if (c.peek() == '{') {
+      // One nested object of flat values, flattened into dotted keys:
+      // {"args":{"chain":2}} => "args.chain" = 2. Deeper nesting falls
+      // through to parse_value's rejection.
+      c.take();
+      if (!c.consume('}')) {
+        while (true) {
+          std::string inner;
+          if (!parse_string(c, inner, error)) return false;
+          if (!c.consume(':')) {
+            error = "expected ':'";
+            return false;
+          }
+          JsonValue value;
+          if (!parse_value(c, value, error)) return false;
+          out[key + "." + inner] = std::move(value);
+          if (c.consume(',')) continue;
+          if (c.consume('}')) break;
+          error = "expected ',' or '}'";
+          return false;
+        }
+      }
+    } else {
+      JsonValue value;
+      if (!parse_value(c, value, error)) return false;
+      out[key] = std::move(value);
+    }
     if (c.consume(',')) continue;
     if (c.consume('}')) break;
     error = "expected ',' or '}'";

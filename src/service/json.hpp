@@ -2,10 +2,14 @@
 // Minimal flat JSON for the hidap_serve line protocol.
 //
 // One request or event is one JSON object on one line, with only
-// string / number / boolean / null values -- no nested objects or
-// arrays. That covers the whole protocol (see examples/hidap_serve.cpp)
-// and keeps the parser a page long; nested values are rejected with a
-// parse error rather than silently mangled.
+// string / number / boolean / null values. That covers the whole
+// protocol (see examples/hidap_serve.cpp) and keeps the parser a page
+// long. One concession to external formats: a value may be ONE nested
+// object of flat values, which the parser flattens into dotted keys
+// ({"args":{"chain":2}} parses as "args.chain" = 2) -- enough to
+// line-parse Chrome trace_event records (obs/trace.hpp) and metric
+// payloads without growing a tree representation. Deeper nesting and
+// arrays are rejected with a parse error rather than silently mangled.
 
 #include <cstdint>
 #include <map>
@@ -24,11 +28,13 @@ struct JsonValue {
 };
 
 /// Key -> value map of one flat object. std::map so iteration (and any
-/// serialization of it) is deterministic.
+/// serialization of it) is deterministic. One level of object nesting
+/// appears as dotted keys ("args.chain").
 using JsonObject = std::map<std::string, JsonValue>;
 
-/// Parses one flat JSON object. Returns false and fills `error` on
-/// malformed input or nested values.
+/// Parses one JSON object (at most one level of object nesting, which
+/// is flattened into dotted keys). Returns false and fills `error` on
+/// malformed input, arrays, or deeper nesting.
 bool parse_json_object(std::string_view text, JsonObject& out, std::string& error);
 
 /// Convenience typed getters with defaults for absent keys.

@@ -7,6 +7,8 @@
 
 #include "netlist/def_io.hpp"
 #include "netlist/verilog_parser.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace hidap {
@@ -30,6 +32,7 @@ PlacementSession::PlacementSession(HiDaPOptions base) : base_(std::move(base)) {
 JobOutcome PlacementSession::run(const PlacementJobSpec& spec) {
   JobOutcome outcome;
   const Timer timer;
+  obs::Span job_span("job", "service");
 
   // The control outlives every pool task of this job; job-local unless
   // the caller provided one to cancel through.
@@ -39,6 +42,13 @@ JobOutcome PlacementSession::run(const PlacementJobSpec& spec) {
   if (spec.timeout_s > 0.0) {
     control->set_deadline(Deadline::after_seconds(spec.timeout_s));
   }
+
+  // The job's private metric island: layers below flush per-job numbers
+  // (phase walls, SA totals) into it via the control. Stack-owned, so it
+  // must be detached before run() returns (pool tasks of this job are
+  // all joined by then).
+  obs::MetricScope metric_scope;
+  control->set_job_metrics(&metric_scope.registry());
 
   try {
     // --- Design: content-hashed text, single-flight parse. ---
@@ -109,11 +119,47 @@ JobOutcome PlacementSession::run(const PlacementJobSpec& spec) {
     control->post_progress("job %s failed: %s", spec.id.c_str(), e.what());
   }
 
-  // Detach the job-scoped sink so a caller-owned control cannot call
-  // into a dead consumer after run() returns.
+  // Detach the job-scoped state (sink, metric island) so a caller-owned
+  // control cannot reach dead stack objects after run() returns.
+  control->set_job_metrics(nullptr);
   if (spec.progress) control->set_progress_sink(nullptr);
+
+  // Phase breakdown back out of the job's island (micros -> seconds).
+  obs::MetricsRegistry& job_metrics = metric_scope.registry();
+  const auto phase_seconds = [&job_metrics](const char* name) {
+    return static_cast<double>(job_metrics.counter(name).value()) / 1e6;
+  };
+  outcome.phase_curves_s = phase_seconds("phase.curves_us");
+  outcome.phase_recursion_s = phase_seconds("phase.recursion_us");
+  outcome.phase_flip_s = phase_seconds("phase.flip_us");
+  outcome.phase_legalize_s = phase_seconds("phase.legalize_us");
+
+  // Terminal-status tallies: session-local (served through job_counters()
+  // and the serve `stats` verb) and process-global (jobs.* counters).
+  const auto finish = [this](std::atomic<std::uint64_t>& local, const char* name) {
+    local.fetch_add(1, std::memory_order_relaxed);
+    obs::default_registry().counter(name).add(1);
+  };
+  switch (outcome.status) {
+    case JobStatus::Completed: finish(jobs_completed_, "jobs.completed"); break;
+    case JobStatus::Cancelled: finish(jobs_cancelled_, "jobs.cancelled"); break;
+    case JobStatus::DeadlineExpired:
+      finish(jobs_deadline_expired_, "jobs.deadline_expired");
+      break;
+    case JobStatus::Failed: finish(jobs_failed_, "jobs.failed"); break;
+  }
+
   outcome.seconds = timer.seconds();
   return outcome;
+}
+
+PlacementSession::JobCounters PlacementSession::job_counters() const {
+  JobCounters counters;
+  counters.completed = jobs_completed_.load(std::memory_order_relaxed);
+  counters.cancelled = jobs_cancelled_.load(std::memory_order_relaxed);
+  counters.deadline_expired = jobs_deadline_expired_.load(std::memory_order_relaxed);
+  counters.failed = jobs_failed_.load(std::memory_order_relaxed);
+  return counters;
 }
 
 }  // namespace hidap

@@ -21,6 +21,7 @@
 // progress) lives in the spec and its JobControl, never in the session,
 // so concurrent jobs cannot observe each other.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -74,6 +75,14 @@ struct JobOutcome {
   bool context_cached = false;
   bool curves_cached = false;
   bool plan_cached = false;
+
+  /// Per-phase wall clocks of this job (seconds), read back from the
+  /// job's private MetricScope after the run. Zero for phases that did
+  /// not run (cached curves, skipped legalize, stopped jobs).
+  double phase_curves_s = 0.0;
+  double phase_recursion_s = 0.0;
+  double phase_flip_s = 0.0;
+  double phase_legalize_s = 0.0;
 };
 
 class PlacementSession {
@@ -87,12 +96,26 @@ class PlacementSession {
   /// Never throws: failures are reported as JobStatus::Failed.
   JobOutcome run(const PlacementJobSpec& spec);
 
+  /// Lifetime totals of jobs this session finished, by terminal status.
+  /// Mirrored into the process registry as the jobs.* counters.
+  struct JobCounters {
+    std::uint64_t completed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t deadline_expired = 0;
+    std::uint64_t failed = 0;
+  };
+  JobCounters job_counters() const;
+
   ArtifactCache::Stats cache_stats() const { return cache_.stats(); }
   const HiDaPOptions& base_options() const { return base_; }
 
  private:
   HiDaPOptions base_;
   ArtifactCache cache_;
+  std::atomic<std::uint64_t> jobs_completed_{0};
+  std::atomic<std::uint64_t> jobs_cancelled_{0};
+  std::atomic<std::uint64_t> jobs_deadline_expired_{0};
+  std::atomic<std::uint64_t> jobs_failed_{0};
 };
 
 }  // namespace hidap

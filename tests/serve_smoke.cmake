@@ -33,6 +33,7 @@ string(APPEND requests "{\"op\":\"place\",\"id\":\"warm\",\"verilog\":\"serve.v\
 string(APPEND requests "{\"op\":\"place\",\"id\":\"rushed\",\"verilog\":\"serve.v\",\"out\":\"rushed.def\",\"seed\":8,\"effort\":0.05,\"timeout_s\":0.0001}\n")
 string(APPEND requests "{\"op\":\"drain\"}\n")
 string(APPEND requests "{\"op\":\"stats\"}\n")
+string(APPEND requests "{\"op\":\"metrics\"}\n")
 string(APPEND requests "{\"op\":\"quit\"}\n")
 file(WRITE "${WORK_DIR}/requests.jsonl" "${requests}")
 
@@ -63,6 +64,22 @@ require_event("\"event\":\"done\",\"id\":\"rushed\",\"status\":\"deadline_expire
 require_event("\"event\":\"drained\"" "drain acknowledgement")
 require_event("\"event\":\"stats\"" "stats event")
 require_event("\"event\":\"bye\"" "shutdown event")
+
+# Per-job phase breakdown rides on every successful done event.
+require_event("\"id\":\"cold\"[^\n]*\"phase_recursion_s\":" "cold phase breakdown")
+
+# Job-status counters in stats: cold + warm completed, rushed expired.
+require_event("\"event\":\"stats\"[^\n]*\"jobs_completed\":2" "jobs_completed count")
+require_event("\"event\":\"stats\"[^\n]*\"jobs_deadline_expired\":1" "jobs_deadline_expired count")
+require_event("\"event\":\"stats\"[^\n]*\"jobs_cancelled\":0" "jobs_cancelled count")
+require_event("\"event\":\"stats\"[^\n]*\"design_waits\":" "design_waits field")
+require_event("\"event\":\"stats\"[^\n]*\"context_waits\":" "context_waits field")
+
+# The metrics verb returns the flat registry snapshot; three placements
+# ran in this server, so SA totals must be present and nonzero.
+require_event("\"event\":\"metrics\"[^\n]*\"sa\\.runs\":[1-9]" "metrics sa.runs")
+require_event("\"event\":\"metrics\"[^\n]*\"sa\\.moves_proposed\":[1-9]" "metrics sa.moves_proposed")
+require_event("\"event\":\"metrics\"[^\n]*\"jobs\\.completed\":2" "metrics jobs.completed")
 
 foreach(def cold.def warm.def rushed.def)
   if(NOT EXISTS "${WORK_DIR}/${def}")

@@ -1,0 +1,346 @@
+// Observability subsystem tests (ISSUE 7): metric registry aggregation
+// under a genuinely threaded pool, histogram bucket-edge semantics, span
+// nesting + Chrome-trace export round-trip (parsed back with the
+// service/json line parser), the per-job MetricScope island, and the
+// hard determinism contract -- placements are byte-identical with
+// tracing on or off at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/hidap.hpp"
+#include "force_pool_lanes.hpp"
+#include "gen/suite.hpp"
+#include "netlist/def_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/thread_pool.hpp"
+#include "service/json.hpp"
+#include "util/log.hpp"
+
+namespace hidap {
+namespace {
+
+// 8-lane pool (or HIDAP_THREADS) so the sharded cells see genuinely
+// concurrent writers; see force_pool_lanes.hpp.
+const int kForcedPoolLanes = test_support::force_pool_lanes();
+
+struct TracingOff {
+  // Every test in this binary starts from tracing-off and an empty ring,
+  // so span-producing tests cannot leak events into one another.
+  TracingOff() {
+    obs::set_tracing_enabled(false);
+    obs::Tracer::instance().clear();
+  }
+};
+
+TEST(ObsMetrics, CounterAggregatesAcrossPoolThreads) {
+  TracingOff guard;
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("test.adds");
+  constexpr std::size_t kTasks = 1000;
+  parallel_for(kTasks, [&](std::size_t) { counter.add(3); });
+  EXPECT_EQ(counter.value(), 3u * kTasks);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(ObsMetrics, GaugeSumsSignedDeltasAcrossThreads) {
+  TracingOff guard;
+  obs::MetricsRegistry registry;
+  obs::Gauge& gauge = registry.gauge("test.level");
+  constexpr std::size_t kTasks = 512;
+  // +2/-1 pairs from pool threads must settle on the exact net level.
+  parallel_for(kTasks, [&](std::size_t) {
+    gauge.add(2);
+    gauge.add(-1);
+  });
+  EXPECT_EQ(gauge.value(), static_cast<std::int64_t>(kTasks));
+}
+
+TEST(ObsMetrics, HandlesAreStableAndSharedByName) {
+  TracingOff guard;
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.counter("same.name");
+  obs::Counter& b = registry.counter("same.name");
+  EXPECT_EQ(&a, &b);
+  a.add(5);
+  EXPECT_EQ(b.value(), 5u);
+}
+
+TEST(ObsMetrics, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  TracingOff guard;
+  obs::MetricsRegistry registry;
+  obs::Histogram& hist = registry.histogram("test.hist", {10.0, 100.0});
+  hist.record(10.0);    // == bound: lands in bucket 0 (inclusive upper)
+  hist.record(10.0001); // just above: bucket 1
+  hist.record(100.0);   // == last bound: bucket 1
+  hist.record(100.5);   // above every bound: overflow
+  hist.record(-3.0);    // below the first bound: bucket 0
+  const obs::HistogramSnapshot snap = hist.read();
+  ASSERT_EQ(snap.counts.size(), 3u);  // two bounds + overflow
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 2u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_NEAR(snap.sum, 10.0 + 10.0001 + 100.0 + 100.5 - 3.0, 1e-9);
+}
+
+TEST(ObsMetrics, HistogramAggregatesAcrossPoolThreads) {
+  TracingOff guard;
+  obs::MetricsRegistry registry;
+  obs::Histogram& hist = registry.histogram("test.conc", {1.0});
+  constexpr std::size_t kTasks = 800;
+  parallel_for(kTasks, [&](std::size_t i) { hist.record(i % 2 == 0 ? 0.5 : 2.0); });
+  const obs::HistogramSnapshot snap = hist.read();
+  EXPECT_EQ(snap.count, kTasks);
+  EXPECT_EQ(snap.counts[0], kTasks / 2);
+  EXPECT_EQ(snap.counts[1], kTasks / 2);
+}
+
+TEST(ObsMetrics, FlatValuesExplodeHistograms) {
+  TracingOff guard;
+  obs::MetricsRegistry registry;
+  registry.counter("c").add(7);
+  registry.histogram("h", {5.0}).record(4.0);
+  std::map<std::string, double> flat;
+  for (const auto& [name, value] : registry.flat_values()) flat[name] = value;
+  EXPECT_EQ(flat.at("c"), 7.0);
+  EXPECT_EQ(flat.at("h.count"), 1.0);
+  EXPECT_EQ(flat.at("h.sum"), 4.0);
+  EXPECT_EQ(flat.at("h.le_5"), 1.0);
+  EXPECT_EQ(flat.at("h.overflow"), 0.0);
+}
+
+TEST(ObsMetrics, ToJsonIsOneFlatParseableObject) {
+  TracingOff guard;
+  obs::MetricsRegistry registry;
+  registry.counter("sa.runs").add(2);
+  registry.gauge("pool.queue_depth").add(3);
+  JsonObject parsed;
+  std::string error;
+  ASSERT_TRUE(parse_json_object(registry.to_json(), parsed, error)) << error;
+  EXPECT_EQ(json_number(parsed, "sa.runs"), 2.0);
+  EXPECT_EQ(json_number(parsed, "pool.queue_depth"), 3.0);
+}
+
+TEST(ObsMetrics, MetricScopeIsolatesJobsFromTheGlobalRegistry) {
+  TracingOff guard;
+  obs::MetricScope scope_a;
+  obs::MetricScope scope_b;
+  scope_a.registry().counter("x").add(1);
+  scope_b.registry().counter("x").add(10);
+  EXPECT_EQ(scope_a.registry().counter("x").value(), 1u);
+  EXPECT_EQ(scope_b.registry().counter("x").value(), 10u);
+  // The global registry is untouched by scope writes (fresh name).
+  EXPECT_EQ(obs::default_registry().counter("test.scope_isolation").value(), 0u);
+}
+
+TEST(ObsTrace, SpanIsInertWhenDisabled) {
+  TracingOff guard;
+  {
+    obs::Span span("never_recorded", "test");
+    span.arg("k", 1);
+  }
+  for (const obs::TraceEvent& e : obs::Tracer::instance().collect()) {
+    EXPECT_STRNE(e.name, "never_recorded");
+  }
+}
+
+TEST(ObsTrace, NestedSpansExportAndRoundTripThroughJson) {
+  TracingOff guard;
+  obs::set_tracing_enabled(true);
+  {
+    obs::Span outer("outer_span", "test");
+    outer.arg("ordinal", 42);
+    {
+      obs::Span inner("inner_span", "test");
+      inner.arg("depth", 2);
+    }
+  }
+  obs::set_tracing_enabled(false);
+
+  const std::string path = "obs_roundtrip_trace.json";
+  std::string error;
+  ASSERT_TRUE(obs::Tracer::instance().export_chrome_trace(path, &error)) << error;
+
+  // Line-wise parse with the service/json parser: each event line is one
+  // JSON object (strip the trailing comma); the one-level "args" object
+  // comes back as dotted keys.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  bool saw_outer = false, saw_inner = false;
+  double outer_ts = 0, outer_dur = 0, inner_ts = 0, inner_dur = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] != '{' || line.find("\"name\"") == std::string::npos) {
+      continue;  // header/footer lines
+    }
+    if (line.back() == ',') line.pop_back();
+    JsonObject event;
+    ASSERT_TRUE(parse_json_object(line, event, error)) << error << ": " << line;
+    EXPECT_EQ(json_string(event, "ph"), "X");
+    if (json_string(event, "name") == "outer_span") {
+      saw_outer = true;
+      outer_ts = json_number(event, "ts");
+      outer_dur = json_number(event, "dur");
+      EXPECT_EQ(json_number(event, "args.ordinal"), 42.0);
+    } else if (json_string(event, "name") == "inner_span") {
+      saw_inner = true;
+      inner_ts = json_number(event, "ts");
+      inner_dur = json_number(event, "dur");
+      EXPECT_EQ(json_number(event, "args.depth"), 2.0);
+    }
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+  // RAII nesting: the inner interval lies inside the outer one.
+  EXPECT_GE(inner_ts, outer_ts);
+  EXPECT_LE(inner_ts + inner_dur, outer_ts + outer_dur + 1e-3);
+  std::remove(path.c_str());
+}
+
+TEST(ObsTrace, PhaseStatsSelfTimeExcludesChildren) {
+  TracingOff guard;
+  obs::set_tracing_enabled(true);
+  {
+    obs::Span parent("phase_parent", "test");
+    {
+      obs::Span child("phase_child", "test");
+      // Make the child's share of the parent wall unmistakable.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  obs::set_tracing_enabled(false);
+  double parent_total = -1, parent_self = -1, child_total = -1;
+  for (const obs::PhaseStat& s : obs::Tracer::instance().phase_stats()) {
+    if (s.name == "phase_parent") {
+      parent_total = s.total_s;
+      parent_self = s.self_s;
+    } else if (s.name == "phase_child") {
+      child_total = s.total_s;
+    }
+  }
+  ASSERT_GE(parent_total, 0.0);
+  ASSERT_GE(child_total, 0.015);
+  // Parent self-time = its wall minus the child's wall.
+  EXPECT_NEAR(parent_self, parent_total - child_total, 1e-3);
+  const std::string summary = obs::Tracer::instance().phase_summary();
+  EXPECT_NE(summary.find("phase_parent"), std::string::npos);
+  EXPECT_NE(summary.find("phase_child"), std::string::npos);
+}
+
+TEST(ObsTrace, RingWrapKeepsNewestEventsAndCountsDrops) {
+  TracingOff guard;
+  obs::Tracer::instance().set_ring_capacity(64);
+  obs::set_tracing_enabled(true);
+  for (int i = 0; i < 200; ++i) {
+    obs::Span span("wrap_span", "test");
+  }
+  obs::set_tracing_enabled(false);
+  EXPECT_GT(obs::Tracer::instance().dropped(), 0u);
+  std::size_t wrap_events = 0;
+  for (const obs::TraceEvent& e : obs::Tracer::instance().collect()) {
+    if (std::string_view(e.name) == "wrap_span") ++wrap_events;
+  }
+  EXPECT_EQ(wrap_events, 64u);
+  obs::Tracer::instance().clear();
+  obs::Tracer::instance().set_ring_capacity(std::size_t{1} << 16);
+}
+
+// The hard invariant of the whole subsystem: tracing must never touch
+// the RNG/accept streams, so the DEF is byte-identical with tracing on
+// or off -- sequential and threaded.
+class ObsDeterminism : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    set_log_level(LogLevel::Warn);
+    CircuitSpec spec = fig1_spec();
+    spec.target_cells = 4000;
+    spec.macro_count = 12;
+    design_ = new Design(generate_circuit(spec));
+    context_ = new PlacementContext(*design_);
+  }
+  static void TearDownTestSuite() {
+    delete context_;
+    delete design_;
+    context_ = nullptr;
+    design_ = nullptr;
+  }
+
+  static HiDaPOptions quick_options(int num_threads) {
+    HiDaPOptions o;
+    o.job.seed = 11;
+    o.num_threads = num_threads;
+    o.layout_anneal.moves_per_temperature = 60;
+    o.layout_anneal.cooling = 0.8;
+    o.layout_anneal.max_stagnant_temperatures = 3;
+    o.shape_fp.anneal.moves_per_temperature = 40;
+    o.shape_fp.anneal.cooling = 0.8;
+    o.shape_fp.anneal.max_stagnant_temperatures = 3;
+    return o;
+  }
+
+  static std::string def_string(int num_threads) {
+    const PlacementResult result =
+        place_macros(*design_, *context_, quick_options(num_threads));
+    std::ostringstream def;
+    write_def(*design_, result, def);
+    return def.str();
+  }
+
+  static Design* design_;
+  static PlacementContext* context_;
+};
+
+Design* ObsDeterminism::design_ = nullptr;
+PlacementContext* ObsDeterminism::context_ = nullptr;
+
+TEST_F(ObsDeterminism, DefBytesAreIdenticalTracingOnOrOff) {
+  TracingOff guard;
+  for (const int threads : {1, 8}) {
+    const std::string off = def_string(threads);
+    obs::set_tracing_enabled(true);
+    const std::string on = def_string(threads);
+    obs::set_tracing_enabled(false);
+    EXPECT_EQ(off, on) << "tracing changed the placement at num_threads=" << threads;
+  }
+  obs::Tracer::instance().clear();
+}
+
+TEST_F(ObsDeterminism, PlacementRunRecordsSaAndPhaseMetrics) {
+  TracingOff guard;
+  const std::uint64_t runs_before =
+      obs::default_registry().counter("sa.runs").value();
+  const std::uint64_t proposed_before =
+      obs::default_registry().counter("sa.moves_proposed").value();
+  JobControl control;
+  obs::MetricScope scope;
+  control.set_job_metrics(&scope.registry());
+  HiDaPOptions options = quick_options(kForcedPoolLanes > 1 ? 0 : 1);
+  options.job.control = &control;
+  const PlacementResult result = place_macros(*design_, *context_, options);
+  control.set_job_metrics(nullptr);
+  EXPECT_EQ(result.status, JobStatus::Completed);
+  // Global totals moved...
+  EXPECT_GT(obs::default_registry().counter("sa.runs").value(), runs_before);
+  EXPECT_GT(obs::default_registry().counter("sa.moves_proposed").value(),
+            proposed_before);
+  // ...and the job island saw this job's numbers, phases included.
+  EXPECT_GT(scope.registry().counter("sa.runs").value(), 0u);
+  EXPECT_GT(scope.registry().counter("sa.moves_proposed").value(), 0u);
+  EXPECT_GT(scope.registry().counter("phase.recursion_us").value(), 0u);
+  EXPECT_GT(scope.registry().counter("phase.curves_us").value(), 0u);
+}
+
+}  // namespace
+}  // namespace hidap

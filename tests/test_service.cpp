@@ -421,18 +421,35 @@ TEST(ServeJson, EscapesRoundTrip) {
   EXPECT_FALSE(json_bool(obj, "b", true));
 }
 
-TEST(ServeJson, RejectsMalformedAndNested) {
+TEST(ServeJson, RejectsMalformedAndDeeplyNested) {
   JsonObject obj;
   std::string error;
   EXPECT_FALSE(parse_json_object("", obj, error));
   EXPECT_FALSE(parse_json_object("{\"a\":1", obj, error));
   EXPECT_FALSE(parse_json_object("{\"a\":}", obj, error));
   EXPECT_FALSE(parse_json_object("{\"a\":1} trailing", obj, error));
-  EXPECT_FALSE(parse_json_object(R"({"a":{"nested":1}})", obj, error));
+  EXPECT_FALSE(parse_json_object(R"({"a":{"b":{"c":1}}})", obj, error));
   EXPECT_NE(error.find("nested"), std::string::npos);
   EXPECT_FALSE(parse_json_object(R"({"a":[1,2]})", obj, error));
   EXPECT_TRUE(parse_json_object("{}", obj, error));
   EXPECT_TRUE(obj.empty());
+}
+
+// Since PR 7, one level of object nesting is accepted and flattened to
+// dotted keys — trace-event "args" objects round-trip through this.
+TEST(ServeJson, FlattensOneLevelOfNesting) {
+  JsonObject obj;
+  std::string error;
+  ASSERT_TRUE(parse_json_object(
+      R"({"name":"level","args":{"ordinal":3,"depth":1},"dur":9})", obj, error))
+      << error;
+  EXPECT_EQ(json_string(obj, "name"), "level");
+  EXPECT_EQ(json_number(obj, "args.ordinal"), 3.0);
+  EXPECT_EQ(json_number(obj, "args.depth"), 1.0);
+  EXPECT_EQ(json_number(obj, "dur"), 9.0);
+  EXPECT_FALSE(json_has(obj, "args"));
+  ASSERT_TRUE(parse_json_object(R"({"empty":{},"x":1})", obj, error)) << error;
+  EXPECT_EQ(json_number(obj, "x"), 1.0);
 }
 
 }  // namespace
