@@ -26,14 +26,14 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
+#include "util/env.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace hidap::benchutil {
 
 inline double env_scale(double fallback) {
-  if (const char* s = std::getenv("HIDAP_SCALE")) return std::atof(s);
-  return fallback;
+  return env_double("HIDAP_SCALE", fallback, 1e-4, 100.0);
 }
 
 inline bool env_fast() {

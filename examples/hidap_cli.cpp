@@ -49,7 +49,7 @@ struct Args {
   bool incremental = true;
   bool parallel_levels = true;
   bool legacy_estimate_order = false;
-  bool lazy_affinity = false;
+  bool batch_moves = true;
   bool phase_summary = false;
 };
 
@@ -79,9 +79,10 @@ struct Args {
                "  --legacy-estimate-order  pre-scheduler estimate semantics: each\n"
                "               level's inference sees earlier siblings' refinements\n"
                "               (sequential only; a different, golden-pinned result)\n"
-               "  --lazy-affinity  tree-shaped affinity term reduction (O(log n)\n"
-               "               per touched pair; changes SA trajectories in the\n"
-               "               last ulp -- experimental groundwork)\n"
+               "  --no-batch-moves  score SA moves one at a time instead of in\n"
+               "               speculative SoA batches (the batched oracle path;\n"
+               "               results are byte-identical, only slower;\n"
+               "               batch width: HIDAP_SA_BATCH, default 8)\n"
                "  --log-level {debug,info,warn,error}  console verbosity\n"
                "               (default warn; progress lines are always on)\n"
                "  observability (any command; placements are byte-identical\n"
@@ -124,7 +125,7 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--no-incremental") args.incremental = false;
     else if (flag == "--no-parallel-levels") args.parallel_levels = false;
     else if (flag == "--legacy-estimate-order") args.legacy_estimate_order = true;
-    else if (flag == "--lazy-affinity") args.lazy_affinity = true;
+    else if (flag == "--no-batch-moves") args.batch_moves = false;
     else if (flag == "--trace-json") args.trace_json = next();
     else if (flag == "--metrics-json") args.metrics_json = next();
     else if (flag == "--phase-summary") args.phase_summary = true;
@@ -147,7 +148,7 @@ int cmd_place(const Args& args) {
   options.legacy_estimate_order = args.legacy_estimate_order;
   options.layout_anneal.chains = std::max(1, args.chains);
   options.layout_anneal.incremental = args.incremental;
-  options.layout_anneal.lazy_affinity = args.lazy_affinity;
+  options.layout_anneal.batch_moves = args.batch_moves;
   options.scale_effort(args.effort);
   if (!args.fix.empty()) {
     const DefContents fixed = parse_def_file(args.fix);
@@ -223,7 +224,7 @@ int cmd_flows(const Args& args) {
   options.hidap.legacy_estimate_order = args.legacy_estimate_order;
   options.hidap.layout_anneal.chains = std::max(1, args.chains);
   options.hidap.layout_anneal.incremental = args.incremental;
-  options.hidap.layout_anneal.lazy_affinity = args.lazy_affinity;
+  options.hidap.layout_anneal.batch_moves = args.batch_moves;
   const FlowComparison cmp = compare_flows(design, options);
   ReportTable table({"flow", "WL(m)", "norm", "GRC%", "WNS%", "TNS(ns)", "time(s)"});
   for (const Metrics* m : {&cmp.indeda, &cmp.hidap, &cmp.handfp}) {

@@ -79,29 +79,39 @@ IncrementalFlatCost::IncrementalFlatCost(const FlatCostModel& model,
   touched_wl_.resize(macro_count_);
   touched_ov_.resize(macro_count_);
 
-  wl_edges_.reserve(model.macro_edges().size() + model.port_edges().size());
+  const std::size_t edge_total = model.macro_edges().size() + model.port_edges().size();
+  wl_a_.reserve(edge_total);
+  wl_b_.reserve(edge_total);
+  wl_w_.reserve(edge_total);
+  wl_px_.reserve(edge_total);
+  wl_py_.reserve(edge_total);
   for (const FlatCostModel::MacroEdge& e : model.macro_edges()) {
-    const auto idx = static_cast<std::uint32_t>(wl_edges_.size());
-    WlEdge edge;
-    edge.a = index.at(e.a);
-    edge.b = index.at(e.b);
-    edge.w = e.w;
-    wl_edges_.push_back(edge);
-    touched_wl_[edge.a].push_back(idx);
-    if (edge.b != edge.a) touched_wl_[edge.b].push_back(idx);
+    const auto idx = static_cast<std::uint32_t>(wl_w_.size());
+    const std::uint32_t a = index.at(e.a);
+    const std::uint32_t b = index.at(e.b);
+    wl_a_.push_back(a);
+    wl_b_.push_back(b);
+    wl_w_.push_back(e.w);
+    wl_px_.push_back(0.0);
+    wl_py_.push_back(0.0);
+    touched_wl_[a].push_back(idx);
+    if (b != a) touched_wl_[b].push_back(idx);
   }
+  macro_edge_count_ = wl_w_.size();
   for (const FlatCostModel::PortEdge& e : model.port_edges()) {
-    const auto idx = static_cast<std::uint32_t>(wl_edges_.size());
-    WlEdge edge;
-    edge.a = index.at(e.a);
-    edge.port = e.p;
-    edge.w = e.w;
-    edge.to_port = true;
-    wl_edges_.push_back(edge);
-    touched_wl_[edge.a].push_back(idx);
+    const auto idx = static_cast<std::uint32_t>(wl_w_.size());
+    const std::uint32_t a = index.at(e.a);
+    wl_a_.push_back(a);
+    wl_b_.push_back(0);
+    wl_w_.push_back(e.w);
+    wl_px_.push_back(e.p.x);
+    wl_py_.push_back(e.p.y);
+    touched_wl_[a].push_back(idx);
   }
-  wl_terms_.resize(wl_edges_.size());
-  for (std::size_t idx = 0; idx < wl_edges_.size(); ++idx) recompute_wl_term(idx, macros);
+  wl_terms_.resize(wl_w_.size());
+  for (std::size_t idx = 0; idx < wl_terms_.size(); ++idx) {
+    wl_terms_[idx] = wl_term_value(idx, macros);
+  }
 
   // Row i holds the pair terms (i, j > i) followed by i's boundary term.
   const std::size_t m = macro_count_;
@@ -121,23 +131,26 @@ IncrementalFlatCost::IncrementalFlatCost(const FlatCostModel& model,
     }
     touched_ov_[i].push_back(static_cast<std::uint32_t>(ov_row_offset_[i] + (m - 1 - i)));
   }
-  for (std::size_t idx = 0; idx < ov_terms_.size(); ++idx) recompute_ov_term(idx, macros);
+  for (std::size_t idx = 0; idx < ov_terms_.size(); ++idx) {
+    ov_terms_[idx] = ov_term_value(idx, macros);
+  }
 
   epoch_wl_.assign(wl_terms_.size(), 0);
   epoch_ov_.assign(ov_terms_.size(), 0);
   committed_cost_ = reduce();
 }
 
-void IncrementalFlatCost::recompute_wl_term(std::size_t idx,
-                                            const std::vector<MacroPlacement>& macros) {
-  const WlEdge& e = wl_edges_[idx];
-  const Point ca = macros[e.a].rect.center();
-  wl_terms_[idx] = e.to_port ? e.w * manhattan(ca, e.port)
-                             : e.w * manhattan(ca, macros[e.b].rect.center());
+double IncrementalFlatCost::wl_term_value(std::size_t idx,
+                                          const std::vector<MacroPlacement>& macros) const {
+  const Point ca = macros[wl_a_[idx]].rect.center();
+  if (idx < macro_edge_count_) {
+    return wl_w_[idx] * manhattan(ca, macros[wl_b_[idx]].rect.center());
+  }
+  return wl_w_[idx] * manhattan(ca, Point{wl_px_[idx], wl_py_[idx]});
 }
 
-void IncrementalFlatCost::recompute_ov_term(std::size_t idx,
-                                            const std::vector<MacroPlacement>& macros) {
+double IncrementalFlatCost::ov_term_value(std::size_t idx,
+                                          const std::vector<MacroPlacement>& macros) const {
   // Locate the row: ov_row_offset_ is ascending, rows are short, and the
   // callers touch terms row-locally, so a binary search is plenty.
   const auto row_it =
@@ -148,11 +161,10 @@ void IncrementalFlatCost::recompute_ov_term(std::size_t idx,
   if (col == macro_count_ - 1 - i) {
     // Boundary term: out-of-die area, exactly as the oracle charges it.
     const double inside = r.overlap_area(model_.die());
-    ov_terms_[idx] = r.area() - inside;
-  } else {
-    const std::size_t j = i + 1 + col;
-    ov_terms_[idx] = r.overlap_area(macros[j].rect);
+    return r.area() - inside;
   }
+  const std::size_t j = i + 1 + col;
+  return r.overlap_area(macros[j].rect);
 }
 
 double IncrementalFlatCost::reduce() const {
@@ -177,18 +189,77 @@ double IncrementalFlatCost::propose(const std::vector<MacroPlacement>& macros,
       if (epoch_wl_[idx] == epoch_) continue;  // already refreshed this move
       epoch_wl_[idx] = epoch_;
       undo_wl_.push_back({idx, wl_terms_[idx]});
-      recompute_wl_term(idx, macros);
+      wl_terms_[idx] = wl_term_value(idx, macros);
     }
     for (const std::uint32_t idx : touched_ov_[k]) {
       if (epoch_ov_[idx] == epoch_) continue;
       epoch_ov_[idx] = epoch_;
       undo_ov_.push_back({idx, ov_terms_[idx]});
-      recompute_ov_term(idx, macros);
+      ov_terms_[idx] = ov_term_value(idx, macros);
     }
   }
   proposed_cost_ = reduce();
   pending_ = true;
   return proposed_cost_;
+}
+
+void IncrementalFlatCost::begin_batch(std::size_t lanes) {
+  assert(!pending_ && !batch_pending_ && "resolve the previous proposal/batch first");
+  assert(lanes >= 1 && lanes <= kMaxBatch);
+  lane_wl_.begin(lanes, wl_terms_.size());
+  lane_ov_.begin(lanes, ov_terms_.size());
+  batch_lanes_ = lanes;
+  batch_pending_ = true;
+}
+
+void IncrementalFlatCost::add_candidate(std::size_t lane,
+                                        const std::vector<MacroPlacement>& macros,
+                                        std::span<const std::size_t> moved) {
+  assert(batch_pending_ && lane < batch_lanes_);
+  assert(macros.size() == macro_count_);
+  // Same epoch dedup as propose(): a two-macro move overrides each
+  // shared term once per candidate.
+  ++epoch_;
+  for (const std::size_t k : moved) {
+    for (const std::uint32_t idx : touched_wl_[k]) {
+      if (epoch_wl_[idx] == epoch_) continue;
+      epoch_wl_[idx] = epoch_;
+      lane_wl_.set(lane, idx, wl_term_value(idx, macros));
+    }
+    for (const std::uint32_t idx : touched_ov_[k]) {
+      if (epoch_ov_[idx] == epoch_) continue;
+      epoch_ov_[idx] = epoch_;
+      lane_ov_.set(lane, idx, ov_term_value(idx, macros));
+    }
+  }
+}
+
+void IncrementalFlatCost::finish_batch(double* costs) {
+  assert(batch_pending_);
+  // Both reductions replay reduce()'s left-to-right order per lane, and
+  // the final combine is the same wl + weight * overlap expression, so
+  // every lane's cost is bit-identical to a scalar propose().
+  std::array<double, kMaxBatch> wl_sums{};
+  std::array<double, kMaxBatch> ov_sums{};
+  lane_wl_.reduce(wl_terms_.data(), wl_sums.data());
+  lane_ov_.reduce(ov_terms_.data(), ov_sums.data());
+  for (std::size_t l = 0; l < batch_lanes_; ++l) {
+    costs[l] = batch_costs_[l] = wl_sums[l] + model_.overlap_weight() * ov_sums[l];
+  }
+}
+
+void IncrementalFlatCost::commit_candidate(std::size_t lane) {
+  assert(batch_pending_ && lane < batch_lanes_);
+  lane_wl_.apply(lane, wl_terms_.data());
+  lane_ov_.apply(lane, ov_terms_.data());
+  committed_cost_ = batch_costs_[lane];
+  batch_pending_ = false;
+}
+
+void IncrementalFlatCost::discard_batch() {
+  assert(batch_pending_);
+  // Overrides only ever lived in the lane overlay; nothing to undo.
+  batch_pending_ = false;
 }
 
 void IncrementalFlatCost::commit() {

@@ -17,6 +17,7 @@
 // accept/reject sequence -- and the final placement -- byte-identical
 // whether AnnealOptions::incremental is on or off.
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -24,6 +25,7 @@
 
 #include "core/result.hpp"
 #include "dataflow/seq_graph.hpp"
+#include "floorplan/soa_terms.hpp"
 #include "geometry/geometry.hpp"
 #include "netlist/netlist.hpp"
 
@@ -77,23 +79,38 @@ class IncrementalFlatCost {
   void commit();
   void rollback();
 
+  /// Lane capacity of the batched evaluation below.
+  static constexpr std::size_t kMaxBatch = LaneTermBatch::kMaxLanes;
+
+  /// Batched speculative evaluation against the committed terms. The
+  /// caller mutates `macros` for candidate i, calls add_candidate(i,
+  /// macros, moved), restores `macros`, repeats, then finish_batch()
+  /// writes every candidate's cost (bit-identical to what propose()
+  /// would have returned) and must be followed by exactly one
+  /// commit_candidate() -- which folds that lane's terms in; the caller
+  /// re-applies the placements -- or discard_batch().
+  void begin_batch(std::size_t lanes);
+  void add_candidate(std::size_t lane, const std::vector<MacroPlacement>& macros,
+                     std::span<const std::size_t> moved);
+  void finish_batch(double* costs);
+  void commit_candidate(std::size_t lane);
+  void discard_batch();
+
  private:
-  void recompute_wl_term(std::size_t idx, const std::vector<MacroPlacement>& macros);
-  void recompute_ov_term(std::size_t idx, const std::vector<MacroPlacement>& macros);
+  double wl_term_value(std::size_t idx, const std::vector<MacroPlacement>& macros) const;
+  double ov_term_value(std::size_t idx, const std::vector<MacroPlacement>& macros) const;
   double reduce() const;
 
   const FlatCostModel& model_;
   std::size_t macro_count_ = 0;
 
-  // Wirelength terms: macro-macro edges first, then port edges -- the
-  // oracle's accumulation order.
-  struct WlEdge {
-    std::uint32_t a = 0, b = 0;  ///< macro indices; b unused for port edges
-    Point port;                  ///< port centroid (port edges only)
-    double w = 0.0;
-    bool to_port = false;
-  };
-  std::vector<WlEdge> wl_edges_;
+  // Wirelength edges in the oracle's accumulation order -- macro-macro
+  // edges first, then port edges -- as parallel arrays. Indices below
+  // macro_edge_count_ are macro edges (endpoints wl_a_/wl_b_); the rest
+  // connect wl_a_ to the fixed port centroid (wl_px_, wl_py_).
+  std::size_t macro_edge_count_ = 0;
+  std::vector<std::uint32_t> wl_a_, wl_b_;
+  std::vector<double> wl_w_, wl_px_, wl_py_;
   std::vector<double> wl_terms_;
 
   // Overlap terms, row-major: for each i the pair terms (i, j > i), then
@@ -114,6 +131,14 @@ class IncrementalFlatCost {
   std::vector<Undo> undo_wl_, undo_ov_;
   std::vector<std::uint32_t> epoch_wl_, epoch_ov_;
   std::uint32_t epoch_ = 0;
+
+  // Batch overlay: per-lane sparse overrides of the wirelength and
+  // overlap term arrays (floorplan/soa_terms.hpp). The committed terms
+  // are never touched until commit_candidate applies one lane.
+  LaneTermBatch lane_wl_, lane_ov_;
+  std::array<double, kMaxBatch> batch_costs_{};
+  std::size_t batch_lanes_ = 0;
+  bool batch_pending_ = false;
 
   double committed_cost_ = 0.0;
   double proposed_cost_ = 0.0;

@@ -1,12 +1,12 @@
 #include "core/layout_optimizer.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <memory>
 
 #include "floorplan/annealer.hpp"
 #include "floorplan/incremental_eval.hpp"
-#include "floorplan/term_sum_tree.hpp"
 #include "util/log.hpp"
 
 namespace hidap {
@@ -46,32 +46,10 @@ double layout_connectivity_cost(const LayoutProblem& problem,
   return cost;
 }
 
-double layout_connectivity_cost_tree(const LayoutProblem& problem,
-                                     const std::vector<Rect>& rects) {
-  const AffinityMatrix& aff = *problem.affinity;
-  const std::size_t n = problem.blocks.size();
-  const std::size_t total = n + problem.terminals.size();
-  assert(aff.size() == total);
-
-  // The same positive-pair sequence the linear sum walks (and the
-  // incremental engine caches), reduced through the shared fixed-shape
-  // tree so the engine's O(log n) path updates reproduce it bit for bit.
-  const std::vector<Point> centers = pair_centers(problem, rects);
-  std::vector<double> terms;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < total; ++j) {
-      const double a = aff.at(i, j);
-      if (a > 0) terms.push_back(a * manhattan(centers[i], centers[j]));
-    }
-  }
-  return term_tree_reduce(terms);
-}
-
 double evaluate_layout_full(const LayoutProblem& problem, const PolishExpression& expr,
-                            BudgetResult* out_result, bool lazy_affinity) {
+                            BudgetResult* out_result) {
   BudgetResult res = budget_layout(expr, problem.blocks, problem.region, problem.budget);
-  const double conn = lazy_affinity ? layout_connectivity_cost_tree(problem, res.leaf_rects)
-                                    : layout_connectivity_cost(problem, res.leaf_rects);
+  const double conn = layout_connectivity_cost(problem, res.leaf_rects);
   const double cost = layout_objective(res.violations, conn, problem.region);
   if (out_result) *out_result = std::move(res);
   return cost;
@@ -88,7 +66,7 @@ LayoutSolution optimize_layout(const LayoutProblem& problem,
   if (n == 1) {
     solution.expression = current;
     BudgetResult res;
-    solution.cost = evaluate_layout_full(problem, current, &res, anneal_options.lazy_affinity);
+    solution.cost = evaluate_layout_full(problem, current, &res);
     solution.rects = std::move(res.leaf_rects);
     solution.violations = res.violations;
     return solution;
@@ -108,6 +86,10 @@ LayoutSolution optimize_layout(const LayoutProblem& problem,
     PolishExpression current, backup, best;
     std::unique_ptr<IncrementalLayoutEval> inc;
     Rng rng{0};
+    /// Move-RNG snapshots taken after generating each batch candidate:
+    /// accepting lane i rewinds rng to lane_rng[i], exactly where the
+    /// scalar engine's stream would stand after proposing candidate i.
+    std::array<Rng, IncrementalLayoutEval::kMaxBatch> lane_rng;
   };
   std::vector<ChainState> states(static_cast<std::size_t>(std::max(1, opts.chains)));
   const auto perturb_retry = [](PolishExpression& expr, Rng& rng) {
@@ -116,15 +98,14 @@ LayoutSolution optimize_layout(const LayoutProblem& problem,
     }
   };
   const auto make_chain = [&problem, &states, n, perturb_retry,
-                           incremental = opts.incremental,
-                           lazy = opts.lazy_affinity](int c, std::uint64_t seed) {
+                           incremental = opts.incremental](int c, std::uint64_t seed) {
     ChainState& st = states[static_cast<std::size_t>(c)];
     st.rng.reseed(seed ^ 0x7fb5d329728ea185ULL);
     AnnealChain chain;
     if (incremental) {
       st.inc = std::make_unique<IncrementalLayoutEval>(
           problem.blocks, problem.region, problem.terminals, *problem.affinity,
-          PolishExpression::initial(static_cast<int>(n)), problem.budget, lazy);
+          PolishExpression::initial(static_cast<int>(n)), problem.budget);
       st.best = st.inc->expression();
       chain.initial_cost = st.inc->cost();
       chain.hooks.propose = [&st, perturb_retry]() {
@@ -134,15 +115,32 @@ LayoutSolution optimize_layout(const LayoutProblem& problem,
       chain.hooks.commit = [&st]() { st.inc->commit(); };
       chain.hooks.reject = [&st]() { st.inc->rollback(); };
       chain.hooks.on_new_best = [&st](double) { st.best = st.inc->expression(); };
+      // Batched path: every candidate perturbs a copy of the committed
+      // expression with the shared move RNG (the same draws, in the same
+      // order, the scalar loop would make while rejecting).
+      chain.hooks.propose_batch = [&st, perturb_retry](std::size_t k, double* costs) {
+        st.inc->propose_batch(
+            k,
+            [&st, perturb_retry](std::size_t lane, PolishExpression& expr) {
+              perturb_retry(expr, st.rng);
+              st.lane_rng[lane] = st.rng;
+            },
+            costs);
+      };
+      chain.hooks.accept_batch = [&st](std::size_t lane) {
+        st.rng = st.lane_rng[lane];
+        st.inc->commit_candidate(lane);
+      };
+      chain.hooks.discard_batch = [&st]() { st.inc->discard_batch(); };
     } else {
       st.current = PolishExpression::initial(static_cast<int>(n));
       st.backup = st.current;
       st.best = st.current;
-      chain.initial_cost = evaluate_layout_full(problem, st.current, nullptr, lazy);
-      chain.hooks.propose = [&problem, &st, perturb_retry, lazy]() {
+      chain.initial_cost = evaluate_layout_full(problem, st.current, nullptr);
+      chain.hooks.propose = [&problem, &st, perturb_retry]() {
         st.backup = st.current;
         perturb_retry(st.current, st.rng);
-        return evaluate_layout_full(problem, st.current, nullptr, lazy);
+        return evaluate_layout_full(problem, st.current, nullptr);
       };
       chain.hooks.reject = [&st]() { st.current = st.backup; };
       chain.hooks.on_new_best = [&st](double) { st.best = st.current; };
@@ -155,7 +153,7 @@ LayoutSolution optimize_layout(const LayoutProblem& problem,
   PolishExpression& best = states[static_cast<std::size_t>(winner)].best;
 
   BudgetResult res;
-  solution.cost = evaluate_layout_full(problem, best, &res, opts.lazy_affinity);
+  solution.cost = evaluate_layout_full(problem, best, &res);
   solution.expression = std::move(best);
   solution.rects = std::move(res.leaf_rects);
   solution.violations = res.violations;

@@ -39,23 +39,13 @@ struct LayoutSolution {
 double layout_connectivity_cost(const LayoutProblem& problem,
                                 const std::vector<Rect>& rects);
 
-/// Same positive-pair terms reduced through the fixed-shape balanced
-/// tree (term_sum_tree.hpp) instead of left to right -- the oracle-side
-/// reduction for AnnealOptions::lazy_affinity. Differs from
-/// layout_connectivity_cost only in the last ulps of the combine order.
-double layout_connectivity_cost_tree(const LayoutProblem& problem,
-                                     const std::vector<Rect>& rects);
-
 /// Full-recompute SA objective of one candidate expression: budget layout
 /// plus graded penalty times connectivity. This is the reference oracle
 /// for IncrementalLayoutEval, which reproduces it bit for bit; the
 /// differential suite (tests/test_incremental_eval.cpp) compares the two
-/// on every move. `lazy_affinity` selects the tree-shaped term reduction
-/// (must match the engine's AnnealOptions::lazy_affinity setting for the
-/// bit-identity contract to hold).
+/// on every move.
 double evaluate_layout_full(const LayoutProblem& problem, const PolishExpression& expr,
-                            BudgetResult* out_result = nullptr,
-                            bool lazy_affinity = false);
+                            BudgetResult* out_result = nullptr);
 
 LayoutSolution optimize_layout(const LayoutProblem& problem,
                                const AnnealOptions& anneal_options);

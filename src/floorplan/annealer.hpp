@@ -36,15 +36,29 @@ struct AnnealOptions {
   /// the switch exists for differential testing and as an escape hatch.
   bool incremental = true;
 
-  /// Reduce the per-pair affinity cost terms through a fixed-shape
-  /// balanced tree (floorplan/term_sum_tree.hpp) instead of the
-  /// left-to-right re-sum: O(log n) per touched pair instead of O(n) per
-  /// move. The tree's combine order differs from the linear sum in the
-  /// last ulp, so this changes SA trajectories -- both the incremental
-  /// engine AND the full-recompute oracle switch to the tree order
-  /// together, keeping them bit-identical to each other under either
-  /// setting. Default off (groundwork; see the bench_micro ablation).
-  bool lazy_affinity = false;
+  /// Evaluate speculative moves in batches of batch_size lanes against
+  /// the committed state (one SoA reduction pass scores the whole batch;
+  /// floorplan/soa_terms.hpp), replaying the accept decisions in
+  /// proposal order so exactly the move the scalar engine would have
+  /// accepted is committed. The accept/reject sequence, every RNG draw,
+  /// and the final placement are bit-identical to batch_moves = false;
+  /// only the evaluation schedule changes. Requires the caller to supply
+  /// the batch hooks (propose_batch/accept_batch/discard_batch); falls
+  /// back to the scalar loop when they are absent. Calibration always
+  /// runs scalar (every calibration move commits, so there is nothing
+  /// speculative to batch).
+  bool batch_moves = true;
+
+  /// Maximum candidates per batch, 1..16. 0 = resolve from
+  /// HIDAP_SA_BATCH (default 8). 1 disables batching (the scalar loop
+  /// runs, batch counters stay zero). The engine adapts the actual
+  /// width per temperature step to the observed acceptance rate: hot
+  /// steps fall all the way back to the scalar loop -- an accepted lane
+  /// discards the rest of its batch, so wide speculation only pays once
+  /// most candidates are rejected -- and cooled steps open to the full
+  /// width. The width choice never affects the trajectory, only the
+  /// waste.
+  int batch_size = 0;
 
   /// Cooperative stop handle, polled before every calibration and
   /// cooling move (promptness is bounded by one move, microseconds on
@@ -91,6 +105,21 @@ struct AnnealHooks {
   /// Called when a new global best cost is observed (after acceptance
   /// and after `commit`). Typical use: snapshot the current solution.
   std::function<void(double)> on_new_best;
+
+  /// Batched evaluation (AnnealOptions::batch_moves). propose_batch
+  /// generates k candidate moves against the committed state and writes
+  /// their costs to costs[0..k): cost i must be bit-identical to what k
+  /// sequential propose() calls would return for candidate i, and the
+  /// move-generation RNG must end as if all k candidates were generated.
+  /// The engine then replays the accept stream over the costs in order:
+  /// on the first acceptance at index i it calls accept_batch(i) -- the
+  /// evaluator commits candidate i, rewinds move generation to just
+  /// after candidate i, and discards the rest -- and on none it calls
+  /// discard_batch(). All three must be set for batching to engage;
+  /// propose/reject/commit above stay in use for calibration.
+  std::function<void(std::size_t k, double* costs)> propose_batch;
+  std::function<void(std::size_t index)> accept_batch;
+  std::function<void()> discard_batch;
 };
 
 struct AnnealStats {
@@ -105,6 +134,14 @@ struct AnnealStats {
   /// True when AnnealOptions::control stopped the schedule early; the
   /// best cost/solution seen so far is still valid.
   bool stopped = false;
+  /// Batched-evaluation accounting (zero when the scalar loop ran).
+  /// batch_candidates counts speculative evaluations; batch_wasted
+  /// counts those discarded because an earlier candidate in the batch
+  /// was accepted first (occupancy = batch_candidates / batches,
+  /// waste ratio = batch_wasted / batch_candidates).
+  long batches = 0;
+  long batch_candidates = 0;
+  long batch_wasted = 0;
 };
 
 /// Runs the schedule; `initial_cost` is the cost of the starting state.

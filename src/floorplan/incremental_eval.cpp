@@ -10,10 +10,8 @@ IncrementalLayoutEval::IncrementalLayoutEval(const std::vector<BudgetBlock>& blo
                                              const std::vector<Point>& terminals,
                                              const AffinityMatrix& affinity,
                                              PolishExpression initial,
-                                             const BudgetOptions& options,
-                                             bool lazy_affinity)
-    : blocks_(blocks), region_(region), affinity_(affinity), options_(options),
-      terminal_centers_(terminals), lazy_affinity_(lazy_affinity) {
+                                             const BudgetOptions& options)
+    : blocks_(blocks), region_(region), affinity_(affinity), options_(options) {
   const std::size_t n = blocks.size();
   const std::size_t total = n + terminals.size();
   assert(affinity.size() == total);
@@ -28,11 +26,21 @@ IncrementalLayoutEval::IncrementalLayoutEval(const std::vector<BudgetBlock>& blo
       const double a = affinity.at(i, j);
       if (a > 0) {
         const auto idx = static_cast<std::uint32_t>(pairs_.size());
-        pairs_.push_back({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j), a});
+        pairs_.push_back(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j), a);
         block_pairs_[i].push_back(idx);
         if (j < n) block_pairs_[j].push_back(idx);
       }
     }
+  }
+
+  // Centers span blocks then terminals; the terminal tail is written
+  // once, into both buffers (they swap on commit), and never touched
+  // again -- pair terms index one array with no movable/terminal branch.
+  committed_centers_.resize(total);
+  proposed_centers_.resize(total);
+  for (std::size_t t = 0; t < terminals.size(); ++t) {
+    committed_centers_.set(n + t, terminals[t].x, terminals[t].y);
+    proposed_centers_.set(n + t, terminals[t].x, terminals[t].y);
   }
 
   leaf_infos_.reserve(n);
@@ -56,6 +64,8 @@ IncrementalLayoutEval::IncrementalLayoutEval(const std::vector<BudgetBlock>& blo
   committed_split_.resize(len);
   proposed_split_.resize(len);
   clean_nodes_.resize(len);
+  lane_exprs_.resize(kMaxBatch);
+  lane_violations_.resize(kMaxBatch);
 
   evaluate_proposed(/*reuse_committed=*/false);
   pending_ = true;
@@ -92,7 +102,7 @@ void IncrementalLayoutEval::rebuild_tree(const PolishExpression& expr) {
   tree_.root = parse_stack_.back();
 }
 
-void IncrementalLayoutEval::evaluate_proposed(bool reuse_committed) {
+void IncrementalLayoutEval::evaluate_tree(bool reuse_committed) {
   const std::size_t n = blocks_.size();
   const std::vector<int>& elems = proposed_expr_.elements();
   const std::size_t len = elems.size();
@@ -202,72 +212,50 @@ void IncrementalLayoutEval::evaluate_proposed(bool reuse_committed) {
     budget_assign(tree_, info_ptrs_.data(), blocks_, region_, proposed_layout_);
   }
 
-  proposed_centers_.resize(n);
+  // Block centers (the terminal tail is constant; see the constructor).
   for (std::size_t b = 0; b < n; ++b) {
-    proposed_centers_[b] = proposed_layout_.leaf_rects[b].center();
+    const Point c = proposed_layout_.leaf_rects[b].center();
+    proposed_centers_.set(b, c.x, c.y);
   }
+}
+
+void IncrementalLayoutEval::evaluate_proposed(bool reuse_committed) {
+  evaluate_tree(reuse_committed);
+  const std::size_t n = blocks_.size();
 
   // Connectivity terms: only pairs with a relocated endpoint change.
-  const auto center_of = [&](std::uint32_t v) -> const Point& {
-    return v < n ? proposed_centers_[v] : terminal_centers_[v - n];
+  const auto recompute = [&](std::uint32_t idx) {
+    proposed_terms_[idx] =
+        pairs_.w[idx] * soa_manhattan(proposed_centers_, pairs_.a[idx], pairs_.b[idx]);
   };
-  const auto term_of = [&](std::uint32_t idx) {
-    const Pair& pr = pairs_[idx];
-    return pr.weight * manhattan(center_of(pr.i), center_of(pr.j));
-  };
-  double connectivity = 0.0;
-  if (lazy_affinity_) {
-    // Lazy reduction: terms live as TermSumTree leaves; a touched pair
-    // costs one leaf overwrite plus its O(log n) root path, and the
-    // total is read off the root -- no per-move term copy or re-sum.
-    // The old leaf values go to the undo log so rollback() can restore
-    // the committed tree bit-exactly.
-    if (reuse_committed) {
-      assert(term_undo_.empty());
-      for (std::size_t b = 0; b < n; ++b) {
-        if (proposed_centers_[b] == committed_centers_[b]) continue;
-        // A pair with both endpoints moved is set twice with the same
-        // value; the second undo entry replays harmlessly in reverse.
-        for (const std::uint32_t idx : block_pairs_[b]) {
-          term_undo_.emplace_back(idx, term_tree_.leaf(idx));
-          term_tree_.set(idx, term_of(idx));
-        }
+  if (reuse_committed) {
+    proposed_terms_ = committed_terms_;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (proposed_centers_.x[b] == committed_centers_.x[b] &&
+          proposed_centers_.y[b] == committed_centers_.y[b]) {
+        continue;
       }
-    } else {
-      // Constructor-time build. The terms live in the tree from here on;
-      // committed_terms_/proposed_terms_ stay empty in lazy mode so no
-      // reader can pick up stale values (and commit()'s swap is a no-op).
-      std::vector<double> terms(pairs_.size());
-      for (std::uint32_t idx = 0; idx < pairs_.size(); ++idx) terms[idx] = term_of(idx);
-      term_tree_.reset(terms);
+      // A pair with both endpoints moved is recomputed twice; the value
+      // is identical, so the redundancy is harmless.
+      for (const std::uint32_t idx : block_pairs_[b]) recompute(idx);
     }
-    connectivity = term_tree_.total();
   } else {
-    const auto recompute = [&](std::uint32_t idx) { proposed_terms_[idx] = term_of(idx); };
-    if (reuse_committed) {
-      proposed_terms_ = committed_terms_;
-      for (std::size_t b = 0; b < n; ++b) {
-        if (proposed_centers_[b] == committed_centers_[b]) continue;
-        // A pair with both endpoints moved is recomputed twice; the value
-        // is identical, so the redundancy is harmless.
-        for (const std::uint32_t idx : block_pairs_[b]) recompute(idx);
-      }
-    } else {
-      proposed_terms_.resize(pairs_.size());
-      for (std::uint32_t idx = 0; idx < pairs_.size(); ++idx) recompute(idx);
-    }
-
-    // Left-to-right reduction in the oracle's pair order: the same
-    // sequence of additions layout_connectivity_cost() performs over its
-    // positive terms, so the sum is bit-identical.
-    for (const double t : proposed_terms_) connectivity += t;
+    proposed_terms_.resize(pairs_.size());
+    for (std::uint32_t idx = 0; idx < pairs_.size(); ++idx) recompute(idx);
   }
+
+  // Left-to-right reduction in the oracle's pair order: the same
+  // sequence of additions layout_connectivity_cost() performs over its
+  // positive terms, so the sum is bit-identical.
+  double connectivity = 0.0;
+  for (const double t : proposed_terms_) connectivity += t;
 
   proposed_cost_ = layout_objective(proposed_layout_.violations, connectivity, region_);
 }
 
 double IncrementalLayoutEval::propose(const std::function<void(PolishExpression&)>& mutate) {
   assert(!pending_ && "commit() or rollback() the previous proposal first");
+  assert(!batch_pending_ && "resolve the pending batch first");
   if (memo_h_.size() + memo_v_.size() > kMemoCapacity) {
     // Committed state holds values, not references into the memo, so a
     // wholesale clear is safe; the walk's neighborhood repopulates it.
@@ -279,6 +267,78 @@ double IncrementalLayoutEval::propose(const std::function<void(PolishExpression&
   evaluate_proposed(/*reuse_committed=*/true);
   pending_ = true;
   return proposed_cost_;
+}
+
+void IncrementalLayoutEval::propose_batch(
+    std::size_t k, const std::function<void(std::size_t, PolishExpression&)>& generate,
+    double* costs) {
+  assert(!pending_ && !batch_pending_ && "resolve the previous proposal/batch first");
+  assert(k >= 1 && k <= kMaxBatch);
+  if (memo_h_.size() + memo_v_.size() > kMemoCapacity) {
+    memo_h_.clear();
+    memo_v_.clear();
+  }
+  const std::size_t n = blocks_.size();
+  lane_batch_.begin(k, pairs_.size());
+  for (std::size_t lane = 0; lane < k; ++lane) {
+    // Every candidate perturbs the committed expression: the scalar
+    // engine also proposes against the committed state while rejecting,
+    // so a batch equals k scalar proposals with no intervening commit.
+    proposed_expr_ = committed_expr_;
+    generate(lane, proposed_expr_);
+    evaluate_tree(/*reuse_committed=*/true);
+    for (std::size_t b = 0; b < n; ++b) {
+      if (proposed_centers_.x[b] == committed_centers_.x[b] &&
+          proposed_centers_.y[b] == committed_centers_.y[b]) {
+        continue;
+      }
+      for (const std::uint32_t idx : block_pairs_[b]) {
+        lane_batch_.set(lane, idx,
+                        pairs_.w[idx] *
+                            soa_manhattan(proposed_centers_, pairs_.a[idx], pairs_.b[idx]));
+      }
+    }
+    // Swap, not copy: the next lane overwrites proposed_expr_ from the
+    // committed expression anyway, and the swapped-in buffer's capacity
+    // gets reused -- per-lane cost stays one element copy, not two.
+    std::swap(lane_exprs_[lane], proposed_expr_);
+    lane_violations_[lane] = proposed_layout_.violations;
+  }
+
+  // One vertical pass scores every lane: per lane the addition sequence
+  // over (committed | overridden) terms is exactly the scalar re-sum.
+  std::array<double, kMaxBatch> sums{};
+  lane_batch_.reduce(committed_terms_.data(), sums.data());
+  for (std::size_t lane = 0; lane < k; ++lane) {
+    costs[lane] = lane_costs_[lane] =
+        layout_objective(lane_violations_[lane], sums[lane], region_);
+  }
+  batch_size_ = k;
+  batch_pending_ = true;
+}
+
+void IncrementalLayoutEval::commit_candidate(std::size_t lane) {
+  assert(batch_pending_ && lane < batch_size_);
+  std::swap(proposed_expr_, lane_exprs_[lane]);
+  if (lane + 1 != batch_size_) {
+    // The tree overlay (infos, layout, centers) describes the last lane
+    // evaluated; re-run the accepted candidate. Memo-warm and
+    // deterministic, so every value lands exactly where the first
+    // evaluation put it. (The last lane's overlay is already in place.)
+    evaluate_tree(/*reuse_committed=*/true);
+  }
+  proposed_terms_ = committed_terms_;
+  lane_batch_.apply(lane, proposed_terms_.data());
+  proposed_cost_ = lane_costs_[lane];
+  batch_pending_ = false;
+  pending_ = true;
+  commit();
+}
+
+void IncrementalLayoutEval::discard_batch() {
+  assert(batch_pending_);
+  // The batch overlay never touched committed state; drop it.
+  batch_pending_ = false;
 }
 
 void IncrementalLayoutEval::commit() {
@@ -311,20 +371,12 @@ void IncrementalLayoutEval::commit() {
   std::swap(committed_layout_, proposed_layout_);
   std::swap(committed_centers_, proposed_centers_);
   std::swap(committed_terms_, proposed_terms_);
-  term_undo_.clear();  // lazy mode: the updated tree leaves become committed
   committed_cost_ = proposed_cost_;
   pending_ = false;
 }
 
 void IncrementalLayoutEval::rollback() {
   assert(pending_ && "rollback() without a pending proposal");
-  // Lazy mode: restore the committed tree by replaying the overwritten
-  // leaves in reverse (path sums are pure functions of the leaves, so
-  // this lands bit-exactly on the pre-proposal state).
-  for (std::size_t k = term_undo_.size(); k-- > 0;) {
-    term_tree_.set(term_undo_[k].first, term_undo_[k].second);
-  }
-  term_undo_.clear();
   pending_ = false;
 }
 

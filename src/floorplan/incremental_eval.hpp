@@ -32,7 +32,18 @@
 // annealer's accept/reject sequence -- and so the final placement --
 // byte-identical whether AnnealOptions::incremental is on or off.
 // tests/test_incremental_eval.cpp enforces this differentially.
+//
+// Batched evaluation (AnnealOptions::batch_moves): propose_batch()
+// scores up to kMaxBatch speculative candidates against the committed
+// state in one pass. Pair terms and centers live in structure-of-arrays
+// form (floorplan/soa_terms.hpp); each candidate's touched terms become
+// sparse per-lane overrides and LaneTermBatch::reduce() re-runs the
+// oracle's left-to-right term sum for all lanes vertically. Per lane the
+// addition sequence is exactly the scalar propose() sequence, so the k
+// costs -- and whichever candidate the annealer then commits -- are
+// bit-identical to the scalar engine's.
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -43,7 +54,7 @@
 #include "dataflow/affinity.hpp"
 #include "floorplan/budget_layout.hpp"
 #include "floorplan/polish_expression.hpp"
-#include "floorplan/term_sum_tree.hpp"
+#include "floorplan/soa_terms.hpp"
 #include "geometry/geometry.hpp"
 
 namespace hidap {
@@ -53,14 +64,9 @@ class IncrementalLayoutEval {
   /// The referenced blocks / terminals / affinity must outlive this
   /// object. `affinity` is indexed like layout_connectivity_cost(): rows
   /// 0..blocks-1 are the movable blocks, rows blocks.. are terminals.
-  /// `lazy_affinity` reduces the cached pair terms through the
-  /// fixed-shape TermSumTree (O(log n) per touched pair) instead of the
-  /// left-to-right re-sum; the matching oracle is
-  /// evaluate_layout_full(..., lazy_affinity = true).
   IncrementalLayoutEval(const std::vector<BudgetBlock>& blocks, const Rect& region,
                         const std::vector<Point>& terminals, const AffinityMatrix& affinity,
-                        PolishExpression initial, const BudgetOptions& options = {},
-                        bool lazy_affinity = false);
+                        PolishExpression initial, const BudgetOptions& options = {});
 
   /// Copies the committed expression, lets `mutate` perturb it, and
   /// re-evaluates incrementally, returning the proposal's cost. Exactly
@@ -83,44 +89,57 @@ class IncrementalLayoutEval {
   /// rollback); exposed for differential testing.
   const PolishExpression& proposed_expression() const { return proposed_expr_; }
 
+  /// Lane capacity of propose_batch (the AnnealOptions::batch_size cap).
+  static constexpr std::size_t kMaxBatch = LaneTermBatch::kMaxLanes;
+
+  /// Batched speculative evaluation: generates k candidates, each via
+  /// `generate(lane, expr)` perturbing a fresh copy of the committed
+  /// expression, and writes their costs to costs[0..k). costs[i] is
+  /// bit-identical to what propose(generate_i) would return. Must be
+  /// followed by exactly one commit_candidate() or discard_batch();
+  /// the committed state is untouched until then.
+  void propose_batch(std::size_t k,
+                     const std::function<void(std::size_t, PolishExpression&)>& generate,
+                     double* costs);
+
+  /// Commits candidate `lane` of the last propose_batch as the new
+  /// committed state (equivalent to propose(generate_lane) + commit()).
+  void commit_candidate(std::size_t lane);
+
+  /// Discards the whole batch; the committed state is untouched.
+  void discard_batch();
+
  private:
   void rebuild_tree(const PolishExpression& expr);
+  /// The tree-shaped part of a proposal: expression diff, bottom-up
+  /// infos, top-down budget split, centers. Leaves proposed_layout_ /
+  /// proposed_centers_ describing proposed_expr_; connectivity terms and
+  /// the final objective are the caller's job (they differ between the
+  /// scalar and batched paths).
+  void evaluate_tree(bool reuse_committed);
   void evaluate_proposed(bool reuse_committed);
 
   const std::vector<BudgetBlock>& blocks_;
   const Rect region_;
   const AffinityMatrix& affinity_;
   BudgetOptions options_;
-  std::vector<Point> terminal_centers_;
 
   /// Affinity pairs with a positive weight, in the oracle's iteration
   /// order (i ascending, then j ascending; only pairs with at least one
-  /// movable endpoint contribute).
-  struct Pair {
-    std::uint32_t i = 0, j = 0;
-    double weight = 0.0;
-  };
-  std::vector<Pair> pairs_;
+  /// movable endpoint contribute), as parallel endpoint/weight arrays.
+  PairsSoA pairs_;
   std::vector<std::vector<std::uint32_t>> block_pairs_;  ///< block id -> pair indices
-
-  /// Lazy affinity reduction (AnnealOptions::lazy_affinity): the pair
-  /// terms live in a fixed-shape balanced tree; propose() overwrites the
-  /// touched leaves (logging the old values), rollback() replays the log
-  /// in reverse, commit() discards it. Tree node values are pure
-  /// functions of the leaves, so the incrementally maintained total is
-  /// bit-identical to the oracle's fresh term_tree_reduce().
-  bool lazy_affinity_ = false;
-  TermSumTree term_tree_;
-  std::vector<std::pair<std::uint32_t, double>> term_undo_;
 
   // Committed state. `infos_[p]` characterizes the committed subtree
   // ending at element position p; `ids_[p]` is its value-provenance id
-  // (see the compose memo below).
+  // (see the compose memo below). Center arrays span blocks then
+  // terminals; the terminal tail is constant (written once in the
+  // constructor), so pair terms index one array with no branch.
   PolishExpression committed_expr_;
   std::vector<BudgetNodeInfo> infos_;
   std::vector<std::uint32_t> ids_;
   BudgetResult committed_layout_;
-  std::vector<Point> committed_centers_;
+  CentersSoA committed_centers_;
   std::vector<double> committed_terms_;
   double committed_cost_ = 0.0;
 
@@ -179,10 +198,21 @@ class IncrementalLayoutEval {
   std::vector<std::uint32_t> proposed_ids_;
   std::vector<const BudgetNodeInfo*> info_ptrs_;
   BudgetResult proposed_layout_;
-  std::vector<Point> proposed_centers_;
+  CentersSoA proposed_centers_;
   std::vector<double> proposed_terms_;
   double proposed_cost_ = 0.0;
   bool pending_ = false;
+
+  // Batch overlay (propose_batch): per-lane term overrides plus the
+  // candidate expressions and violation grades needed to replay the
+  // accepted lane. The tree overlay above is reused serially per lane;
+  // only the per-term numbers are held across lanes.
+  LaneTermBatch lane_batch_;
+  std::vector<PolishExpression> lane_exprs_;
+  std::vector<BudgetViolations> lane_violations_;
+  std::array<double, kMaxBatch> lane_costs_{};
+  std::size_t batch_size_ = 0;
+  bool batch_pending_ = false;
 
   // Skippable top-down budget splits (see BudgetSkipContext): per-node
   // rect + accumulator snapshots of the committed assignment pass, so

@@ -1,0 +1,109 @@
+#include "floorplan/soa_terms.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace hidap {
+
+namespace {
+
+// Fixed-width reduction: K is a compile-time constant so the lane loops
+// are unrolled/vectorized. Each lane's accumulator sees the identical
+// left-to-right addend sequence the scalar reduction would feed it.
+template <std::size_t K>
+void reduce_lanes(std::size_t terms, const double* committed, const std::uint32_t* mark,
+                  const std::uint16_t* mask, const double* value, std::uint32_t epoch,
+                  double* sums) {
+  std::array<double, K> acc{};
+  for (std::size_t t = 0; t < terms; ++t) {
+    const double base = committed[t];
+    if (mark[t] != epoch) {
+      // Untouched term: every lane adds the committed value.
+      for (std::size_t l = 0; l < K; ++l) acc[l] += base;
+    } else {
+      const std::uint16_t m = mask[t];
+      const double* v = value + t * K;
+      for (std::size_t l = 0; l < K; ++l) {
+        acc[l] += ((m >> l) & 1u) != 0 ? v[l] : base;
+      }
+    }
+  }
+  for (std::size_t l = 0; l < K; ++l) sums[l] = acc[l];
+}
+
+// Runtime-width fallback for odd lane counts (partial batches).
+void reduce_lanes_any(std::size_t lanes, std::size_t terms, const double* committed,
+                      const std::uint32_t* mark, const std::uint16_t* mask,
+                      const double* value, std::uint32_t epoch, double* sums) {
+  std::array<double, LaneTermBatch::kMaxLanes> acc{};
+  for (std::size_t t = 0; t < terms; ++t) {
+    const double base = committed[t];
+    if (mark[t] != epoch) {
+      for (std::size_t l = 0; l < lanes; ++l) acc[l] += base;
+    } else {
+      const std::uint16_t m = mask[t];
+      const double* v = value + t * lanes;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        acc[l] += ((m >> l) & 1u) != 0 ? v[l] : base;
+      }
+    }
+  }
+  for (std::size_t l = 0; l < lanes; ++l) sums[l] = acc[l];
+}
+
+}  // namespace
+
+void LaneTermBatch::begin(std::size_t lanes, std::size_t terms) {
+  assert(lanes >= 1 && lanes <= kMaxLanes);
+  lanes_ = lanes;
+  terms_ = terms;
+  if (mark_.size() < terms) {
+    mark_.resize(terms, 0);
+    mask_.resize(terms, 0);
+  }
+  if (value_.size() < terms * lanes) value_.resize(terms * lanes);
+  touched_.clear();
+  if (++epoch_ == 0) {
+    // Epoch wrap: stale marks could alias the fresh epoch; reset them.
+    std::fill(mark_.begin(), mark_.end(), 0u);
+    epoch_ = 1;
+  }
+}
+
+void LaneTermBatch::reduce(const double* committed, double* sums) const {
+  switch (lanes_) {
+    case 1:
+      reduce_lanes<1>(terms_, committed, mark_.data(), mask_.data(), value_.data(),
+                      epoch_, sums);
+      break;
+    case 2:
+      reduce_lanes<2>(terms_, committed, mark_.data(), mask_.data(), value_.data(),
+                      epoch_, sums);
+      break;
+    case 4:
+      reduce_lanes<4>(terms_, committed, mark_.data(), mask_.data(), value_.data(),
+                      epoch_, sums);
+      break;
+    case 8:
+      reduce_lanes<8>(terms_, committed, mark_.data(), mask_.data(), value_.data(),
+                      epoch_, sums);
+      break;
+    case 16:
+      reduce_lanes<16>(terms_, committed, mark_.data(), mask_.data(), value_.data(),
+                       epoch_, sums);
+      break;
+    default:
+      reduce_lanes_any(lanes_, terms_, committed, mark_.data(), mask_.data(),
+                       value_.data(), epoch_, sums);
+      break;
+  }
+}
+
+void LaneTermBatch::apply(std::size_t lane, double* terms) const {
+  assert(lane < lanes_);
+  for (const std::uint32_t t : touched_) {
+    if (((mask_[t] >> lane) & 1u) != 0) terms[t] = value_[t * lanes_ + lane];
+  }
+}
+
+}  // namespace hidap

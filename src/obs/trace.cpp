@@ -7,6 +7,8 @@
 #include <cstring>
 #include <map>
 
+#include "util/env.hpp"
+
 namespace hidap::obs {
 
 namespace {
@@ -39,11 +41,11 @@ struct Tracer::ThreadBuffer {
 };
 
 Tracer::Tracer() {
+  // 0 = unset = default 64K events; explicit values are clamped to the
+  // same floor set_ring_capacity enforces and a 4M-event sanity ceiling.
   std::size_t capacity = std::size_t{1} << 16;
-  if (const char* env = std::getenv("HIDAP_TRACE_BUFFER")) {
-    const long n = std::atol(env);
-    if (n > 0) capacity = static_cast<std::size_t>(n);
-  }
+  const long n = env_long("HIDAP_TRACE_BUFFER", 0, 16, long{1} << 22);
+  if (n > 0) capacity = static_cast<std::size_t>(n);
   capacity_.store(capacity, std::memory_order_relaxed);
   epoch_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
                   std::chrono::steady_clock::now().time_since_epoch())

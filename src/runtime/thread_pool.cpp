@@ -9,6 +9,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/env.hpp"
 
 namespace hidap {
 
@@ -177,10 +178,12 @@ ThreadPool& ThreadPool::global() {
 int ThreadPool::default_thread_count() {
   const int override_count = g_default_override.load(std::memory_order_relaxed);
   if (override_count > 0) return override_count;
-  if (const char* env = std::getenv("HIDAP_THREADS")) {
-    const int n = std::atoi(env);
-    if (n > 0) return n;
-  }
+  // Upper bound is deliberately above hardware_concurrency: CI pins
+  // oversubscribed pools (e.g. HIDAP_THREADS=4 under TSan on small
+  // runners) to exercise cross-thread schedules, and results are
+  // bit-identical at any lane count. 0 = unset = auto.
+  const long n = env_long("HIDAP_THREADS", 0, 1, 256);
+  if (n > 0) return static_cast<int>(n);
   return std::max(1u, std::thread::hardware_concurrency());
 }
 

@@ -1,6 +1,8 @@
 #include "service/json.hpp"
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -104,12 +106,34 @@ bool parse_value(Cursor& c, JsonValue& out, std::string& error) {
     out.kind = JsonValue::Kind::Null;
     return true;
   }
-  // Number: delegate validation to strtod over the raw tail.
+  // Number. strtod was wrong here twice over: it is locale-sensitive
+  // (a comma-decimal locale silently truncates "1.5" to 1) and it
+  // accepts hex floats plus inf/nan spellings, none of which are JSON.
   const char* begin = c.text.data() + c.pos;
+  const char* text_end = c.text.data() + c.text.size();
+  double value = 0.0;
+#if defined(__cpp_lib_to_chars)
+  const std::from_chars_result res = std::from_chars(begin, text_end, value);
+  if (res.ec == std::errc::result_out_of_range) {
+    error = "number out of range";
+    return false;
+  }
+  if (res.ec != std::errc{} || res.ptr == begin) {
+    error = "expected a value";
+    return false;
+  }
+  const char* end = res.ptr;
+#else
   char* end = nullptr;
-  const double value = std::strtod(begin, &end);
+  value = std::strtod(begin, &end);
   if (end == begin) {
     error = "expected a value";
+    return false;
+  }
+#endif
+  // from_chars still parses "inf"/"nan" spellings; they are not JSON.
+  if (!std::isfinite(value)) {
+    error = "non-finite numbers are not valid JSON";
     return false;
   }
   out.kind = JsonValue::Kind::Number;
@@ -247,9 +271,21 @@ JsonWriter& JsonWriter::str(std::string_view k, std::string_view value) {
 
 JsonWriter& JsonWriter::num(std::string_view k, double value) {
   key(k);
+  // "%.17g" emitted "inf"/"nan" (invalid JSON) and is locale-sensitive;
+  // to_chars is shortest-round-trip and locale-free. Non-finite values
+  // have no JSON encoding, so they degrade to null.
+  if (!std::isfinite(value)) {
+    body_ += "null";
+    return *this;
+  }
   char buf[64];
+#if defined(__cpp_lib_to_chars)
+  const std::to_chars_result res = std::to_chars(buf, buf + sizeof(buf), value);
+  body_.append(buf, static_cast<std::size_t>(res.ptr - buf));
+#else
   std::snprintf(buf, sizeof(buf), "%.17g", value);
   body_ += buf;
+#endif
   return *this;
 }
 

@@ -1,0 +1,64 @@
+#include "util/env.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/log.hpp"
+
+namespace hidap {
+
+namespace {
+
+// Trailing whitespace after the number is tolerated (quoting artifacts
+// in CI configs); any other trailing character rejects the value.
+bool tail_is_blank(const char* p) {
+  for (; *p != '\0'; ++p) {
+    if (!std::isspace(static_cast<unsigned char>(*p))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+long env_long(const char* name, long fallback, long min_value, long max_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || !tail_is_blank(end) || errno == ERANGE) {
+    HIDAP_LOG_WARN("%s=\"%s\" is not a valid integer; using %ld", name, raw, fallback);
+    return fallback;
+  }
+  if (value < min_value || value > max_value) {
+    const long clamped = value < min_value ? min_value : max_value;
+    HIDAP_LOG_WARN("%s=%ld is outside [%ld, %ld]; clamping to %ld", name, value,
+                   min_value, max_value, clamped);
+    return clamped;
+  }
+  return value;
+}
+
+double env_double(const char* name, double fallback, double min_value,
+                  double max_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw || !tail_is_blank(end) || errno == ERANGE || !std::isfinite(value)) {
+    HIDAP_LOG_WARN("%s=\"%s\" is not a valid number; using %g", name, raw, fallback);
+    return fallback;
+  }
+  if (value < min_value || value > max_value) {
+    const double clamped = value < min_value ? min_value : max_value;
+    HIDAP_LOG_WARN("%s=%g is outside [%g, %g]; clamping to %g", name, value, min_value,
+                   max_value, clamped);
+    return clamped;
+  }
+  return value;
+}
+
+}  // namespace hidap

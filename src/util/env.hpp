@@ -1,0 +1,27 @@
+#pragma once
+// Validated parsing for the HIDAP_* numeric environment knobs.
+//
+// The raw std::atoi/std::atof reads these helpers replace had two silent
+// failure modes: garbage input becomes 0 (indistinguishable from "unset"
+// and from a legitimate 0), and out-of-range values pass through
+// unclamped into thread counts and buffer sizes. Here a malformed value
+// falls back to the caller's default with a warning through util/log,
+// and an out-of-range value is clamped to the caller's bounds, again
+// with a warning. The fallback itself is returned verbatim -- it may sit
+// outside [min_value, max_value] when "unset" means something different
+// from any valid setting (e.g. 0 = auto).
+
+namespace hidap {
+
+/// Reads `name` as a base-10 integer. Unset or empty returns `fallback`;
+/// malformed input (no digits, trailing junk beyond whitespace, or
+/// overflow) warns and returns `fallback`; values outside
+/// [min_value, max_value] warn and clamp.
+long env_long(const char* name, long fallback, long min_value, long max_value);
+
+/// Reads `name` as a double with the same contract as env_long.
+/// Non-finite values (inf/nan spellings) count as malformed.
+double env_double(const char* name, double fallback, double min_value,
+                  double max_value);
+
+}  // namespace hidap

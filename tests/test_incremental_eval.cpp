@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <span>
@@ -174,58 +175,62 @@ TEST(IncrementalLayoutEval, SplitSkippingWalkMatchesNoSkipWalkBitForBit) {
   }
 }
 
-TEST(IncrementalLayoutEval, LazyAffinityWalkMatchesTreeOracleBitForBit) {
-  // AnnealOptions::lazy_affinity swaps the left-to-right term re-sum for
-  // O(log n) path updates in the fixed-shape TermSumTree. The matching
-  // oracle reduces a freshly built term list through the same tree
-  // shape; engine and oracle must agree bit for bit on every proposal
-  // and every committed state, including across rejected-move rollbacks
-  // (which replay the overwritten leaves in reverse).
+TEST(IncrementalLayoutEval, BatchedProposalsMatchScalarProposalsBitForBit) {
+  // propose_batch scores k speculative candidates against the committed
+  // state in one SoA reduction pass; each cost must equal -- bit for bit
+  // -- what a scalar propose() of the same candidate would return, and
+  // committing any lane must land on exactly the state a scalar
+  // propose+commit of that candidate produces. A scalar twin evaluator
+  // replays every candidate to check both, across batch widths 1 / 4 /
+  // 16 (full, partial, and degenerate one-lane batches all on the same
+  // reduction code path).
   set_log_level(LogLevel::Warn);
-  for (std::uint64_t problem_seed = 30; problem_seed <= 36; ++problem_seed) {
-    GeneratedProblem g = make_problem(problem_seed);
-    g.problem.affinity = &g.affinity;
-    const int n = static_cast<int>(g.blocks.size());
-    IncrementalLayoutEval eval(g.problem.blocks, g.problem.region, g.problem.terminals,
-                               *g.problem.affinity, PolishExpression::initial(n),
-                               BudgetOptions{}, /*lazy_affinity=*/true);
-    ASSERT_EQ(eval.cost(),
-              evaluate_layout_full(g.problem, eval.expression(), nullptr, true));
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    for (std::uint64_t problem_seed = 30; problem_seed <= 35; ++problem_seed) {
+      GeneratedProblem g = make_problem(problem_seed);
+      g.problem.affinity = &g.affinity;
+      const int n = static_cast<int>(g.blocks.size());
+      IncrementalLayoutEval eval(g.problem.blocks, g.problem.region, g.problem.terminals,
+                                 *g.problem.affinity, PolishExpression::initial(n));
+      IncrementalLayoutEval twin(g.problem.blocks, g.problem.region, g.problem.terminals,
+                                 *g.problem.affinity, PolishExpression::initial(n));
 
-    Rng rng(problem_seed * 6151 + 11);
-    for (int step = 0; step < 250; ++step) {
-      const double inc_cost = eval.propose([&rng](PolishExpression& expr) {
-        for (int tries = 0; tries < 8; ++tries) {
-          if (expr.perturb(rng)) break;
+      Rng rng(problem_seed * 6151 + 11);
+      Rng flip(problem_seed * 17 + 5);
+      std::array<PolishExpression, IncrementalLayoutEval::kMaxBatch> exprs;
+      std::array<double, IncrementalLayoutEval::kMaxBatch> costs{};
+      for (int round = 0; round < 40; ++round) {
+        eval.propose_batch(
+            batch,
+            [&rng, &exprs](std::size_t lane, PolishExpression& expr) {
+              for (int tries = 0; tries < 8; ++tries) {
+                if (expr.perturb(rng)) break;
+              }
+              exprs[lane] = expr;
+            },
+            costs.data());
+        for (std::size_t lane = 0; lane < batch; ++lane) {
+          const double scalar = twin.propose(
+              [&exprs, lane](PolishExpression& expr) { expr = exprs[lane]; });
+          twin.rollback();
+          ASSERT_EQ(costs[lane], scalar)
+              << "batch " << batch << " problem " << problem_seed << " round " << round
+              << " lane " << lane;
         }
-      });
-      const double oracle =
-          evaluate_layout_full(g.problem, eval.proposed_expression(), nullptr, true);
-      ASSERT_EQ(inc_cost, oracle) << "problem " << problem_seed << " step " << step;
-      if (rng.next_bool(0.6)) {
-        eval.commit();
-      } else {
-        eval.rollback();
+        if (flip.next_bool(0.5)) {
+          const std::size_t lane = flip.next_below(batch);
+          eval.commit_candidate(lane);
+          twin.propose([&exprs, lane](PolishExpression& expr) { expr = exprs[lane]; });
+          twin.commit();
+        } else {
+          eval.discard_batch();
+        }
+        ASSERT_EQ(eval.cost(), twin.cost());
+        ASSERT_EQ(eval.expression().elements(), twin.expression().elements());
       }
-      ASSERT_EQ(eval.cost(),
-                evaluate_layout_full(g.problem, eval.expression(), nullptr, true))
-          << "problem " << problem_seed << " step " << step;
+      expect_layout_state_matches_oracle(g, eval);
     }
   }
-}
-
-TEST(IncrementalLayoutEval, TreeAndLinearReductionsAgreeWithinTolerance) {
-  // The two combine orders may differ only in accumulated rounding:
-  // sanity-bound the drift so a tree-shape bug (dropped or duplicated
-  // term) cannot hide behind the "last ulp" framing.
-  GeneratedProblem g = make_problem(33);
-  g.problem.affinity = &g.affinity;
-  const int n = static_cast<int>(g.blocks.size());
-  const PolishExpression expr = PolishExpression::initial(n);
-  BudgetResult res;
-  const double linear = evaluate_layout_full(g.problem, expr, &res, false);
-  const double tree = evaluate_layout_full(g.problem, expr, nullptr, true);
-  EXPECT_NEAR(tree, linear, 1e-9 * std::max(1.0, std::abs(linear)));
 }
 
 TEST(IncrementalLayoutEval, RepeatedRollbacksLeaveCommittedStateIntact) {
@@ -400,6 +405,104 @@ TEST(IncrementalFlatCost, RollbackRestoresCachedTerms) {
   }
   EXPECT_EQ(inc.cost(), cost0);
   EXPECT_EQ(inc.cost(), model(state));
+}
+
+TEST(IncrementalFlatCost, BatchedCandidatesMatchScalarProposalsBitForBit) {
+  // begin_batch/add_candidate/finish_batch must price every candidate
+  // exactly as a scalar propose() against the same committed state
+  // would, and commit_candidate must land on the scalar propose+commit
+  // state -- across batch widths 1 / 4 / 16.
+  FlatFixture& fx = flat_fixture();
+  const Rect die{0, 0, fx.design.die().w, fx.design.die().h};
+  const FlatCostModel model(fx.design, fx.ctx.seq, die, 4.0);
+
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    Rng rng(9000 + batch);
+    std::vector<MacroPlacement> state = initial_flat_state(fx.design, rng);
+    ASSERT_GE(state.size(), 2u);
+    IncrementalFlatCost inc(model, state);
+    IncrementalFlatCost twin(model, state);
+
+    struct LaneMove {
+      std::array<std::size_t, 2> moved{};
+      std::size_t count = 1;
+      std::array<MacroPlacement, 2> placed{};  // post-move placements
+    };
+    std::array<LaneMove, IncrementalFlatCost::kMaxBatch> lanes;
+    std::array<double, IncrementalFlatCost::kMaxBatch> costs{};
+
+    const auto apply_lane = [&state](const LaneMove& lm) {
+      for (std::size_t u = 0; u < lm.count; ++u) state[lm.moved[u]] = lm.placed[u];
+    };
+
+    for (int round = 0; round < 120; ++round) {
+      inc.begin_batch(batch);
+      for (std::size_t lane = 0; lane < batch; ++lane) {
+        LaneMove& lm = lanes[lane];
+        std::array<MacroPlacement, 2> saved{};
+        const std::size_t i = rng.next_below(state.size());
+        const int kind = rng.next_int(0, 2);
+        if (kind == 0) {
+          const std::size_t j = rng.next_below(state.size());
+          lm.moved = {i, j};
+          lm.count = j == i ? 1 : 2;
+          saved = {state[i], state[j]};
+          const Point ci = state[i].rect.center();
+          const Point cj = state[j].rect.center();
+          state[i].rect.x = cj.x - state[i].rect.w / 2;
+          state[i].rect.y = cj.y - state[i].rect.h / 2;
+          state[j].rect.x = ci.x - state[j].rect.w / 2;
+          state[j].rect.y = ci.y - state[j].rect.h / 2;
+        } else if (kind == 1) {
+          lm.moved = {i, i};
+          lm.count = 1;
+          saved[0] = state[i];
+          state[i].rect.x += rng.next_double(-0.2, 0.2) * die.w;
+          state[i].rect.y += rng.next_double(-0.2, 0.2) * die.h;
+        } else {
+          lm.moved = {i, i};
+          lm.count = 1;
+          saved[0] = state[i];
+          const Point c = state[i].rect.center();
+          std::swap(state[i].rect.w, state[i].rect.h);
+          state[i].rect.x = c.x - state[i].rect.w / 2;
+          state[i].rect.y = c.y - state[i].rect.h / 2;
+        }
+        inc.add_candidate(lane, state,
+                          std::span<const std::size_t>(lm.moved.data(), lm.count));
+        for (std::size_t u = 0; u < lm.count; ++u) lm.placed[u] = state[lm.moved[u]];
+        for (std::size_t u = lm.count; u-- > 0;) state[lm.moved[u]] = saved[u];
+      }
+      inc.finish_batch(costs.data());
+
+      for (std::size_t lane = 0; lane < batch; ++lane) {
+        const LaneMove& lm = lanes[lane];
+        std::array<MacroPlacement, 2> saved{};
+        const std::size_t cnt = std::min<std::size_t>(lm.count, saved.size());
+        for (std::size_t u = 0; u < cnt; ++u) saved[u] = state[lm.moved[u]];
+        apply_lane(lm);
+        const double scalar = twin.propose(
+            state, std::span<const std::size_t>(lm.moved.data(), lm.count));
+        ASSERT_EQ(costs[lane], scalar)
+            << "batch " << batch << " round " << round << " lane " << lane;
+        twin.rollback();
+        for (std::size_t u = cnt; u-- > 0;) state[lm.moved[u]] = saved[u];
+      }
+
+      if (rng.next_bool(0.5)) {
+        const std::size_t lane = rng.next_below(batch);
+        apply_lane(lanes[lane]);
+        twin.propose(state, std::span<const std::size_t>(lanes[lane].moved.data(),
+                                                         lanes[lane].count));
+        twin.commit();
+        inc.commit_candidate(lane);
+      } else {
+        inc.discard_batch();
+      }
+      ASSERT_EQ(inc.cost(), twin.cost()) << "batch " << batch << " round " << round;
+      ASSERT_EQ(inc.cost(), model(state)) << "batch " << batch << " round " << round;
+    }
+  }
 }
 
 }  // namespace

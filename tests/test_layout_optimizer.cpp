@@ -196,11 +196,12 @@ TEST(LayoutOptimizer, SplitSkippingOnOffAreByteIdentical) {
   }
 }
 
-TEST(LayoutOptimizer, LazyAffinityOnOffEngineVsOracleAreByteIdentical) {
-  // With AnnealOptions::lazy_affinity on, the incremental engine and the
-  // full-recompute oracle both reduce the pair terms through the shared
-  // fixed-shape tree, so the two anneals still walk the identical
-  // accept/reject sequence and land on the identical layout.
+TEST(LayoutOptimizer, BatchedAndScalarAnnealsAreByteIdentical) {
+  // With batch_moves on (the default), the incremental engine scores K
+  // speculative candidates per SoA pass and replays the accept stream;
+  // the anneal must walk the identical accept/reject sequence -- and
+  // land on the identical layout -- as the one-move-at-a-time engine
+  // and as the full-recompute oracle, at several batch widths.
   LayoutProblem p;
   p.region = {0, 0, 38, 26};
   for (int i = 0; i < 9; ++i) {
@@ -217,25 +218,29 @@ TEST(LayoutOptimizer, LazyAffinityOnOffEngineVsOracleAreByteIdentical) {
   aff.set(3, 7, 0.2);
   p.affinity = &aff;
 
-  AnnealOptions lazy_on = quick_anneal(29);
-  lazy_on.incremental = true;
-  lazy_on.lazy_affinity = true;
-  AnnealOptions lazy_oracle = lazy_on;
-  lazy_oracle.incremental = false;
+  AnnealOptions scalar = quick_anneal(29);
+  scalar.incremental = true;
+  scalar.batch_moves = false;
+  const LayoutSolution a = optimize_layout(p, scalar);
 
-  const LayoutSolution a = optimize_layout(p, lazy_on);
-  const LayoutSolution b = optimize_layout(p, lazy_oracle);
-  EXPECT_EQ(a.expression.elements(), b.expression.elements());
-  EXPECT_EQ(a.cost, b.cost);
-  ASSERT_EQ(a.rects.size(), b.rects.size());
-  for (std::size_t i = 0; i < a.rects.size(); ++i) EXPECT_EQ(a.rects[i], b.rects[i]);
+  AnnealOptions oracle = scalar;
+  oracle.incremental = false;
+  const LayoutSolution b = optimize_layout(p, oracle);
 
-  // Default-off sanity: the linear-order run still matches its own
-  // oracle (covered elsewhere) and is reachable alongside the tree mode.
-  AnnealOptions lazy_off = quick_anneal(29);
-  lazy_off.lazy_affinity = false;
-  const LayoutSolution c = optimize_layout(p, lazy_off);
-  EXPECT_EQ(c.rects.size(), a.rects.size());
+  for (const int width : {1, 4, 8, 16}) {
+    AnnealOptions batched = scalar;
+    batched.batch_moves = true;
+    batched.batch_size = width;
+    const LayoutSolution c = optimize_layout(p, batched);
+    for (const LayoutSolution* other : {&a, &b}) {
+      EXPECT_EQ(c.expression.elements(), other->expression.elements()) << width;
+      EXPECT_EQ(c.cost, other->cost) << width;
+      ASSERT_EQ(c.rects.size(), other->rects.size()) << width;
+      for (std::size_t i = 0; i < c.rects.size(); ++i) {
+        EXPECT_EQ(c.rects[i], other->rects[i]) << width << " rect " << i;
+      }
+    }
+  }
 }
 
 TEST(LayoutOptimizer, MultichainPicksSameWinnerEitherMode) {
@@ -264,6 +269,14 @@ TEST(LayoutOptimizer, MultichainPicksSameWinnerEitherMode) {
   const LayoutSolution c = optimize_layout(serial, on);
   EXPECT_EQ(a.expression.elements(), c.expression.elements());
   EXPECT_EQ(a.cost, c.cost);
+
+  // ... and independent of batched speculation: each chain replays the
+  // same accept stream either way, so the same chain wins.
+  AnnealOptions unbatched = on;
+  unbatched.batch_moves = false;
+  const LayoutSolution d = optimize_layout(p, unbatched);
+  EXPECT_EQ(a.expression.elements(), d.expression.elements());
+  EXPECT_EQ(a.cost, d.cost);
 }
 
 TEST(LayoutOptimizer, EmptyProblem) {

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -433,6 +434,50 @@ TEST(ServeJson, RejectsMalformedAndDeeplyNested) {
   EXPECT_FALSE(parse_json_object(R"({"a":[1,2]})", obj, error));
   EXPECT_TRUE(parse_json_object("{}", obj, error));
   EXPECT_TRUE(obj.empty());
+}
+
+TEST(ServeJson, NumberParsingIsStrict) {
+  // The strtod-based number branch this replaced accepted "inf"/"nan"
+  // spellings (not JSON) and, being locale-sensitive, could misparse
+  // "0.5" under a comma-decimal locale. from_chars is locale-free and
+  // rejects non-finite spellings; out-of-range magnitudes are a parse
+  // error rather than silently becoming +/-HUGE_VAL.
+  JsonObject obj;
+  std::string error;
+  EXPECT_FALSE(parse_json_object(R"({"a":inf})", obj, error));
+  EXPECT_FALSE(parse_json_object(R"({"a":nan})", obj, error));
+  EXPECT_FALSE(parse_json_object(R"({"a":-Infinity})", obj, error));
+  EXPECT_FALSE(parse_json_object(R"({"a":1e400})", obj, error));
+  EXPECT_NE(error.find("range"), std::string::npos) << error;
+
+  ASSERT_TRUE(parse_json_object(R"({"a":-1.25e2,"b":0.5,"c":12})", obj, error)) << error;
+  EXPECT_EQ(json_number(obj, "a"), -125.0);
+  EXPECT_EQ(json_number(obj, "b"), 0.5);
+  EXPECT_EQ(json_number(obj, "c"), 12.0);
+}
+
+TEST(ServeJson, WriterEmitsValidJsonForNonFiniteAndRoundTripsDoubles) {
+  // snprintf("%g") wrote bare inf/nan tokens -- invalid JSON that the
+  // strict parser (rightly) refuses. Non-finite now degrades to null,
+  // and finite doubles round-trip bit-exactly through shortest form.
+  const std::string line = JsonWriter()
+                               .num("inf", std::numeric_limits<double>::infinity())
+                               .num("ninf", -std::numeric_limits<double>::infinity())
+                               .num("nan", std::numeric_limits<double>::quiet_NaN())
+                               .num("pi", 3.141592653589793)
+                               .num("tiny", 5e-324)
+                               .num("big", 1.7976931348623157e308)
+                               .finish();
+  JsonObject obj;
+  std::string error;
+  ASSERT_TRUE(parse_json_object(line, obj, error)) << error << " in " << line;
+  EXPECT_TRUE(json_has(obj, "inf"));   // null, not a number
+  EXPECT_TRUE(json_has(obj, "ninf"));
+  EXPECT_TRUE(json_has(obj, "nan"));
+  EXPECT_EQ(json_number(obj, "inf", -1.0), -1.0);  // null reads as fallback
+  EXPECT_EQ(json_number(obj, "pi"), 3.141592653589793);
+  EXPECT_EQ(json_number(obj, "tiny"), 5e-324);
+  EXPECT_EQ(json_number(obj, "big"), 1.7976931348623157e308);
 }
 
 // Since PR 7, one level of object nesting is accepted and flattened to

@@ -5,9 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "core/hidap.hpp"
 #include "floorplan/legalizer.hpp"
 #include "gen/suite.hpp"
+#include "netlist/def_io.hpp"
 #include "util/log.hpp"
 
 namespace hidap {
@@ -51,6 +55,33 @@ TEST_P(SuiteMatrix, GeneratePlaceVerify) {
   EXPECT_TRUE(check.all_inside_die) << GetParam();
   EXPECT_NEAR(total_overlap(result.macros, 0.0), 0.0, 1e-6) << GetParam();
   EXPECT_FALSE(result.snapshots.empty());
+}
+
+TEST_P(SuiteMatrix, BatchedAndScalarPlacementDefsAreByteIdentical) {
+  // The PR 8 acceptance check, pinned as a test: on every Table II
+  // circuit the batched SA engine must emit the byte-identical DEF the
+  // one-move-at-a-time engine does, at 1 thread and with the pool
+  // fanned out -- placement bytes are the strongest observable the
+  // pipeline has.
+  set_log_level(LogLevel::Warn);
+  const SuiteEntry entry = suite_circuit(GetParam(), 0.003);
+  const Design design = generate_circuit(entry.spec);
+  const PlacementContext context(design);
+
+  const auto def_bytes = [&](bool batch_moves, int threads) {
+    HiDaPOptions o = quick();
+    o.layout_anneal.batch_moves = batch_moves;
+    o.shape_fp.anneal.batch_moves = batch_moves;
+    o.num_threads = threads;
+    const PlacementResult result = place_macros(design, context, o);
+    std::ostringstream out;
+    write_def(design, result, out);
+    return out.str();
+  };
+
+  const std::string scalar_1t = def_bytes(false, 1);
+  EXPECT_EQ(def_bytes(true, 1), scalar_1t) << GetParam();
+  EXPECT_EQ(def_bytes(true, 8), scalar_1t) << GetParam();
 }
 
 INSTANTIATE_TEST_SUITE_P(PaperCircuits, SuiteMatrix,

@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "util/env.hpp"
 #include "util/job_control.hpp"
 #include "util/rng.hpp"
 #include "util/string_utils.hpp"
@@ -192,6 +194,88 @@ TEST(JobControlTest, StatusStrings) {
   EXPECT_EQ(status_from_stop(JobStopReason::Cancelled), JobStatus::Cancelled);
   EXPECT_EQ(status_from_stop(JobStopReason::DeadlineExpired),
             JobStatus::DeadlineExpired);
+}
+
+// RAII env var for the env_long/env_double tests; restores on scope exit
+// so parallel gtest cases inside this (single-threaded) binary never see
+// each other's values.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(EnvTest, UnsetAndEmptyReturnFallback) {
+  ScopedEnv unset("HIDAP_TEST_KNOB", nullptr);
+  EXPECT_EQ(env_long("HIDAP_TEST_KNOB", 7, 1, 100), 7);
+  EXPECT_EQ(env_double("HIDAP_TEST_KNOB", 0.5, 0.0, 1.0), 0.5);
+  ScopedEnv empty("HIDAP_TEST_KNOB", "");
+  EXPECT_EQ(env_long("HIDAP_TEST_KNOB", 7, 1, 100), 7);
+  EXPECT_EQ(env_double("HIDAP_TEST_KNOB", 0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(EnvTest, ParsesValidValues) {
+  ScopedEnv v("HIDAP_TEST_KNOB", "42");
+  EXPECT_EQ(env_long("HIDAP_TEST_KNOB", 7, 1, 100), 42);
+  EXPECT_EQ(env_double("HIDAP_TEST_KNOB", 0.5, 0.0, 100.0), 42.0);
+  ScopedEnv f("HIDAP_TEST_KNOB", "0.25");
+  EXPECT_EQ(env_double("HIDAP_TEST_KNOB", 0.5, 0.0, 1.0), 0.25);
+}
+
+TEST(EnvTest, TrailingWhitespaceAcceptedTrailingJunkRejected) {
+  ScopedEnv ws("HIDAP_TEST_KNOB", "42 ");
+  EXPECT_EQ(env_long("HIDAP_TEST_KNOB", 7, 1, 100), 42);
+  ScopedEnv junk("HIDAP_TEST_KNOB", "42x");
+  EXPECT_EQ(env_long("HIDAP_TEST_KNOB", 7, 1, 100), 7);
+  EXPECT_EQ(env_double("HIDAP_TEST_KNOB", 0.5, 0.0, 100.0), 0.5);
+}
+
+TEST(EnvTest, GarbageFallsBackInsteadOfBecomingZero) {
+  // The atoi reads these helpers replaced turned "auto" into 0 -- which
+  // for HIDAP_THREADS meant "unset" and for a clamp-to-min knob meant
+  // the minimum. Malformed must mean fallback, never 0.
+  ScopedEnv v("HIDAP_TEST_KNOB", "auto");
+  EXPECT_EQ(env_long("HIDAP_TEST_KNOB", 7, 1, 100), 7);
+  EXPECT_EQ(env_double("HIDAP_TEST_KNOB", 0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(EnvTest, OutOfRangeClampsOverflowFallsBack) {
+  ScopedEnv big("HIDAP_TEST_KNOB", "1000000");
+  EXPECT_EQ(env_long("HIDAP_TEST_KNOB", 7, 1, 256), 256);
+  EXPECT_EQ(env_double("HIDAP_TEST_KNOB", 0.5, 0.0, 1.0), 1.0);
+  ScopedEnv small("HIDAP_TEST_KNOB", "-3");
+  EXPECT_EQ(env_long("HIDAP_TEST_KNOB", 7, 1, 256), 1);
+  ScopedEnv overflow("HIDAP_TEST_KNOB", "99999999999999999999999999");
+  EXPECT_EQ(env_long("HIDAP_TEST_KNOB", 7, 1, 256), 7);
+  ScopedEnv huge("HIDAP_TEST_KNOB", "1e400");  // overflows double
+  EXPECT_EQ(env_double("HIDAP_TEST_KNOB", 0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(EnvTest, NonFiniteDoubleFallsBack) {
+  ScopedEnv inf("HIDAP_TEST_KNOB", "inf");
+  EXPECT_EQ(env_double("HIDAP_TEST_KNOB", 0.5, 0.0, 1.0), 0.5);
+  ScopedEnv nan_v("HIDAP_TEST_KNOB", "nan");
+  EXPECT_EQ(env_double("HIDAP_TEST_KNOB", 0.5, 0.0, 1.0), 0.5);
 }
 
 TEST(JobControlTest, ProgressSinkReceivesFormattedLines) {
