@@ -24,6 +24,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
+#include "util/failpoint.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
@@ -565,6 +566,19 @@ void BM_ObsHistogramRecord(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsHistogramRecord);
+
+// --- fail-point overhead kernel (ISSUE 9 gate: a disarmed site must
+// cost one relaxed load + branch, same bar as BM_ObsSpanDisabled --
+// production code paths carry the sites for free).
+
+void BM_FailpointDisarmed(benchmark::State& state) {
+  failpoints::disarm_all();
+  for (auto _ : state) {
+    HIDAP_FAILPOINT("bench.failpoint");
+    benchmark::DoNotOptimize(&state);
+  }
+}
+BENCHMARK(BM_FailpointDisarmed);
 
 }  // namespace
 

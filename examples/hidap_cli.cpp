@@ -29,6 +29,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
+#include "util/error.hpp"
 #include "util/log.hpp"
 #include "viz/svg.hpp"
 
@@ -64,6 +65,9 @@ struct Args {
                "         --cancel-file P  stop when file P appears (polled ~20 ms)\n"
                "         exit status: 0 completed, 3 cancelled via --cancel-file,\n"
                "                      4 deadline expired via --timeout-s\n"
+               "  exit status (any command): 5 = input failed to parse (the\n"
+               "               message carries the offending file line),\n"
+               "               1 = other error, 2 = bad usage\n"
                "  eval:  -p placed.def\n"
                "  flows: [--csv table.csv] [--seed S]\n"
                "  gen:   -o out.v [--cells N] [--macros M] [--seed S]\n"
@@ -309,6 +313,12 @@ int main(int argc, char** argv) {
     else if (args.command == "flows") code = cmd_flows(args);
     else if (args.command == "gen") code = cmd_gen(args);
     else usage();
+  } catch (const HidapError& e) {
+    // Typed failures map to documented exit codes: 5 = the input did
+    // not parse (bad netlist/DEF, with file line in the message), 1 =
+    // everything else (I/O, limits, internal).
+    std::fprintf(stderr, "error [%s]: %s\n", to_string(e.code()), e.what());
+    return e.code() == ErrorCode::ParseError ? 5 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

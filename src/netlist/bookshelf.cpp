@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/log.hpp"
 #include "util/string_utils.hpp"
 
@@ -27,7 +29,7 @@ std::string node_name(const Design& d, CellId c) {
 
 std::ofstream open_out(const std::string& path) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write " + path);
+  if (!out) throw HidapError(ErrorCode::IoError, "cannot write " + path);
   return out;
 }
 
@@ -131,7 +133,7 @@ namespace {
 
 std::ifstream open_in(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot read " + path);
+  if (!in) throw HidapError(ErrorCode::IoError, "cannot read " + path);
   return in;
 }
 
@@ -149,6 +151,7 @@ bool next_content_line(std::istream& in, std::string& line) {
 
 BookshelfDesign read_bookshelf(const std::string& basename,
                                double macro_area_threshold) {
+  HIDAP_FAILPOINT("netlist.bookshelf_read");
   BookshelfDesign result;
   Design& design = result.design;
 
@@ -176,7 +179,7 @@ BookshelfDesign read_bookshelf(const std::string& basename,
       std::string name, flag;
       NodeInfo info;
       if (!(ss >> name >> info.w >> info.h)) {
-        throw std::runtime_error("bookshelf: bad .nodes line: " + line);
+        throw HidapError(ErrorCode::ParseError, "bookshelf: bad .nodes line: " + line);
       }
       if (ss >> flag) info.terminal = (flag == "terminal");
       if (!info.terminal) {
@@ -228,14 +231,14 @@ BookshelfDesign read_bookshelf(const std::string& basename,
         continue;
       }
       if (current == kInvalidId) {
-        throw std::runtime_error("bookshelf: pin before NetDegree: " + line);
+        throw HidapError(ErrorCode::ParseError, "bookshelf: pin before NetDegree: " + line);
       }
       std::istringstream ss(line);
       std::string name, dir;
       ss >> name >> dir;
       const auto it = nodes.find(name);
       if (it == nodes.end()) {
-        throw std::runtime_error("bookshelf: unknown node '" + name + "'");
+        throw HidapError(ErrorCode::ParseError, "bookshelf: unknown node '" + name + "'");
       }
       const CellId cell = it->second.cell;
       if (dir == "O") {

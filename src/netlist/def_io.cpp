@@ -1,5 +1,6 @@
 #include "netlist/def_io.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <fstream>
 #include <istream>
@@ -8,6 +9,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "util/failpoint.hpp"
 #include "util/log.hpp"
 #include "util/string_utils.hpp"
 
@@ -15,14 +17,52 @@ namespace hidap {
 
 namespace {
 
-Orientation orientation_from_string(const std::string& s) {
+long to_db(double microns, int upm) { return std::lround(microns * upm); }
+
+// Whitespace-delimited tokenizer that tracks the 1-based source line of
+// the token it last produced, so every parse failure can say where
+// (DefParseError), like VerilogParseError does for netlists.
+class DefTokens {
+ public:
+  explicit DefTokens(std::istream& in) : in_(in) {}
+
+  /// Next token, or false at EOF.
+  bool next(std::string& token) {
+    token.clear();
+    int c;
+    while ((c = in_.get()) != std::istream::traits_type::eof()) {
+      if (c == '\n') {
+        ++line_;
+        if (!token.empty()) return true;
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        if (!token.empty()) return true;
+      } else {
+        if (token.empty()) token_line_ = line_;
+        token.push_back(static_cast<char>(c));
+      }
+    }
+    return !token.empty();
+  }
+
+  /// Line the last token started on (or the current line at EOF).
+  int line() const { return token_line_; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw DefParseError(msg, token_line_);
+  }
+
+ private:
+  std::istream& in_;
+  int line_ = 1;
+  int token_line_ = 1;
+};
+
+Orientation orientation_from_string(const std::string& s, const DefTokens& tokens) {
   for (const Orientation o : kAllOrientations) {
     if (to_string(o) == s) return o;
   }
-  throw std::runtime_error("DEF: unknown orientation '" + s + "'");
+  throw DefParseError("unknown orientation '" + s + "'", tokens.line());
 }
-
-long to_db(double microns, int upm) { return std::lround(microns * upm); }
 
 }  // namespace
 
@@ -62,51 +102,80 @@ void write_def(const Design& design, const PlacementResult& placement,
 void write_def_file(const Design& design, const PlacementResult& placement,
                     const std::string& path, const DefWriteOptions& options) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write " + path);
+  if (!out) throw HidapError(ErrorCode::IoError, "cannot write " + path);
   write_def(design, placement, out, options);
 }
 
 DefContents parse_def(std::istream& in) {
+  HIDAP_FAILPOINT("netlist.def_parse");
   DefContents def;
   int upm = 1000;
+  DefTokens tokens(in);
   std::string token;
   const auto expect = [&](const char* what) {
-    if (!(in >> token)) throw std::runtime_error(std::string("DEF: expected ") + what);
+    if (!tokens.next(token)) tokens.fail(std::string("expected ") + what);
     return token;
   };
-  while (in >> token) {
+  const auto expect_int = [&](const char* what) {
+    const std::string& text = expect(what);
+    try {
+      std::size_t used = 0;
+      const int value = std::stoi(text, &used);
+      if (used != text.size()) tokens.fail(std::string("bad ") + what + " '" + text + "'");
+      return value;
+    } catch (const DefParseError&) {
+      throw;
+    } catch (const std::exception&) {
+      tokens.fail(std::string("bad ") + what + " '" + text + "'");
+    }
+  };
+  const auto expect_num = [&](const char* what) {
+    const std::string& text = expect(what);
+    try {
+      std::size_t used = 0;
+      const double value = std::stod(text, &used);
+      if (used != text.size()) tokens.fail(std::string("bad ") + what + " '" + text + "'");
+      return value;
+    } catch (const DefParseError&) {
+      throw;
+    } catch (const std::exception&) {
+      tokens.fail(std::string("bad ") + what + " '" + text + "'");
+    }
+  };
+  while (tokens.next(token)) {
     if (token == "DESIGN") {
       def.design_name = expect("design name");
     } else if (token == "UNITS") {
       expect("DISTANCE");
       expect("MICRONS");
-      upm = std::stoi(expect("units"));
+      upm = expect_int("units");
+      if (upm <= 0) tokens.fail("units must be positive");
     } else if (token == "DIEAREA") {
       expect("(");
-      const double x0 = std::stod(expect("x0"));
-      const double y0 = std::stod(expect("y0"));
+      const double x0 = expect_num("x0");
+      const double y0 = expect_num("y0");
       expect(")");
       expect("(");
-      const double x1 = std::stod(expect("x1"));
-      const double y1 = std::stod(expect("y1"));
+      const double x1 = expect_num("x1");
+      const double y1 = expect_num("y1");
       def.die = Rect{x0 / upm, y0 / upm, (x1 - x0) / upm, (y1 - y0) / upm};
     } else if (token == "COMPONENTS") {
-      const int count = std::stoi(expect("component count"));
+      const int count = expect_int("component count");
       expect(";");
       for (int i = 0; i < count; ++i) {
-        if (expect("-") != "-") throw std::runtime_error("DEF: expected '-'");
+        if (expect("-") != "-") tokens.fail("expected '-'");
         DefComponent comp;
         comp.name = expect("component name");
         comp.def_name = expect("def name");
         // Scan for "+ PLACED ( x y ) ORIENT ;"
         while (expect("PLACED or +") != "PLACED") {
-          if (token == ";") throw std::runtime_error("DEF: component without PLACED");
+          if (token == ";") tokens.fail("component without PLACED");
         }
         expect("(");
-        comp.location.x = std::stod(expect("x")) / upm;
-        comp.location.y = std::stod(expect("y")) / upm;
+        comp.location.x = expect_num("x") / upm;
+        comp.location.y = expect_num("y") / upm;
         expect(")");
-        comp.orientation = orientation_from_string(expect("orientation"));
+        comp.orientation = orientation_from_string(expect("orientation"), tokens);
         expect(";");
         def.components.push_back(std::move(comp));
       }
@@ -119,8 +188,9 @@ DefContents parse_def(std::istream& in) {
 }
 
 DefContents parse_def_file(const std::string& path) {
+  HIDAP_FAILPOINT("netlist.def_read");
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot read " + path);
+  if (!in) throw HidapError(ErrorCode::IoError, "cannot read " + path);
   return parse_def(in);
 }
 

@@ -12,8 +12,23 @@
 
 #include "core/result.hpp"
 #include "netlist/netlist.hpp"
+#include "util/error.hpp"
 
 namespace hidap {
+
+/// Malformed-DEF error carrying the 1-based source line, mirroring
+/// VerilogParseError; typed ErrorCode::ParseError in the taxonomy.
+class DefParseError : public HidapError {
+ public:
+  DefParseError(const std::string& msg, int line)
+      : HidapError(ErrorCode::ParseError,
+                   "DEF parse error at line " + std::to_string(line) + ": " + msg),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
 
 struct DefWriteOptions {
   int units_per_micron = 1000;
@@ -40,8 +55,9 @@ struct DefContents {
   std::vector<DefComponent> components;
 };
 
-/// Parses the subset written by write_def; throws std::runtime_error on
-/// malformed input.
+/// Parses the subset written by write_def; throws DefParseError (with
+/// the offending line number) on malformed input and HidapError
+/// (ErrorCode::IoError) when the file cannot be read.
 DefContents parse_def(std::istream& in);
 DefContents parse_def_file(const std::string& path);
 

@@ -10,6 +10,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "util/failpoint.hpp"
 #include "util/log.hpp"
 #include "util/string_utils.hpp"
 
@@ -539,6 +540,7 @@ class Elaborator {
 }  // namespace
 
 Design parse_verilog(std::istream& in) {
+  HIDAP_FAILPOINT("netlist.verilog_parse");
   Parser parser(in);
   const std::vector<ModuleDef> modules = parser.parse_all();
   if (modules.empty()) throw VerilogParseError("empty netlist", 0);
@@ -547,8 +549,9 @@ Design parse_verilog(std::istream& in) {
 }
 
 Design parse_verilog_file(const std::string& path) {
+  HIDAP_FAILPOINT("netlist.verilog_read");
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  if (!in) throw HidapError(ErrorCode::IoError, "cannot open for read: " + path);
   return parse_verilog(in);
 }
 

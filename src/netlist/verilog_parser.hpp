@@ -16,14 +16,17 @@
 #include <string>
 
 #include "netlist/netlist.hpp"
+#include "util/error.hpp"
 
 namespace hidap {
 
-class VerilogParseError : public std::runtime_error {
+/// Typed as ErrorCode::ParseError in the structured taxonomy
+/// (util/error.hpp), so services map it to a machine-readable code.
+class VerilogParseError : public HidapError {
  public:
   VerilogParseError(const std::string& msg, int line)
-      : std::runtime_error("verilog parse error at line " + std::to_string(line) +
-                           ": " + msg),
+      : HidapError(ErrorCode::ParseError, "verilog parse error at line " +
+                                              std::to_string(line) + ": " + msg),
         line_(line) {}
   int line() const { return line_; }
 

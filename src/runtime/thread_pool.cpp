@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/env.hpp"
+#include "util/failpoint.hpp"
 
 namespace hidap {
 
@@ -119,6 +120,9 @@ struct ThreadPool::ForState {
       if (i >= n) return;
       std::exception_ptr error;
       try {
+        // Injected task faults ride the established propagation path:
+        // caught here, reported as the lowest throwing index's error.
+        HIDAP_FAILPOINT("pool.task");
         (*body)(i);
       } catch (...) {
         error = std::current_exception();
@@ -136,6 +140,10 @@ struct ThreadPool::ForState {
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                               int max_threads) {
   if (n == 0) return;
+  // Fires on the calling thread before any fan-out, so a throw
+  // propagates to the caller like any body exception would -- the
+  // injectable stand-in for a dispatch-time resource failure.
+  HIDAP_FAILPOINT("pool.dispatch");
   int lanes = max_threads > 0 ? std::min(max_threads, size_) : size_;
   lanes = static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(lanes), n));
   if (lanes <= 1 || workers_.empty()) {
@@ -144,6 +152,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     std::exception_ptr first_error;
     for (std::size_t i = 0; i < n; ++i) {
       try {
+        HIDAP_FAILPOINT("pool.task");
         body(i);
       } catch (...) {
         if (!first_error) first_error = std::current_exception();

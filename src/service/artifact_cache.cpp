@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "util/failpoint.hpp"
 #include "util/hash.hpp"
 
 namespace hidap {
@@ -70,14 +71,26 @@ std::shared_ptr<const T> ArtifactCache::single_flight(
 
 std::shared_ptr<const Design> ArtifactCache::design(
     std::uint64_t key, const std::function<Design()>& parse, bool* was_hit) {
+  // The fail point fires inside the leader's factory, so an injected
+  // parse fault takes the real error path: published to every waiter
+  // parked on the single-flight future, then the key is erased so the
+  // next attempt retries cleanly (no poisoned entry).
+  const std::function<Design()> make = [&parse]() {
+    HIDAP_FAILPOINT("cache.design_parse");
+    return parse();
+  };
   return single_flight(designs_, key, stats_.design_hits, stats_.design_misses,
-                       stats_.design_waits, "design", parse, was_hit);
+                       stats_.design_waits, "design", make, was_hit);
 }
 
 std::shared_ptr<const PlacementContext> ArtifactCache::context(
     std::uint64_t key, const std::function<PlacementContext()>& build, bool* was_hit) {
+  const std::function<PlacementContext()> make = [&build]() {
+    HIDAP_FAILPOINT("cache.context_build");
+    return build();
+  };
   return single_flight(contexts_, key, stats_.context_hits, stats_.context_misses,
-                       stats_.context_waits, "context", build, was_hit);
+                       stats_.context_waits, "context", make, was_hit);
 }
 
 std::shared_ptr<const std::vector<ShapeCurve>> ArtifactCache::find_curves(
@@ -97,6 +110,10 @@ std::shared_ptr<const std::vector<ShapeCurve>> ArtifactCache::find_curves(
 void ArtifactCache::store_curves(std::uint64_t key,
                                  std::shared_ptr<const std::vector<ShapeCurve>> curves) {
   if (!curves) return;
+  // error mode = the documented degradation: the donation is dropped
+  // (the next job recomputes); throw mode exercises the session's
+  // donation guard (a failed store must never fail a completed job).
+  if (HIDAP_FAILPOINT_TRIGGERED("cache.donate")) return;
   std::lock_guard<std::mutex> lock(mutex_);
   curves_.emplace(key, std::move(curves));  // first donor wins; same key = same bytes
 }
@@ -117,6 +134,7 @@ std::shared_ptr<const RecursionPlan> ArtifactCache::find_plan(std::uint64_t key)
 void ArtifactCache::store_plan(std::uint64_t key,
                                std::shared_ptr<const RecursionPlan> plan) {
   if (!plan) return;
+  if (HIDAP_FAILPOINT_TRIGGERED("cache.donate")) return;
   std::lock_guard<std::mutex> lock(mutex_);
   plans_.emplace(key, std::move(plan));
 }

@@ -9,6 +9,10 @@
 #include "netlist/verilog_parser.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/env.hpp"
+#include "util/failpoint.hpp"
+#include "util/log.hpp"
+#include "util/retry.hpp"
 #include "util/timer.hpp"
 
 namespace hidap {
@@ -16,11 +20,23 @@ namespace hidap {
 namespace {
 
 std::string slurp_file(const std::string& path) {
+  HIDAP_FAILPOINT("session.read_input");
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot read " + path);
+  if (!in) throw HidapError(ErrorCode::IoError, "cannot read " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (in.bad()) throw HidapError(ErrorCode::IoError, "read failed: " + path);
   return buf.str();
+}
+
+// File-backed requests retry transient IoErrors with exponential
+// backoff (attempts / first backoff from HIDAP_IO_RETRIES and
+// HIDAP_IO_BACKOFF_MS); parse errors are never retried.
+RetryPolicy io_retry_policy() {
+  RetryPolicy policy;
+  policy.attempts = static_cast<int>(env_long("HIDAP_IO_RETRIES", 3, 1, 16));
+  policy.backoff_ms = static_cast<int>(env_long("HIDAP_IO_BACKOFF_MS", 10, 0, 60000));
+  return policy;
 }
 
 }  // namespace
@@ -51,9 +67,21 @@ JobOutcome PlacementSession::run(const PlacementJobSpec& spec) {
   control->set_job_metrics(&metric_scope.registry());
 
   try {
-    // --- Design: content-hashed text, single-flight parse. ---
-    const std::string text =
-        !spec.verilog_text.empty() ? spec.verilog_text : slurp_file(spec.verilog_path);
+    HIDAP_FAILPOINT("session.run");
+    // --- Design: content-hashed text, single-flight parse. File reads
+    // retry transient I/O failures with bounded backoff. ---
+    const RetryPolicy retry = io_retry_policy();
+    const std::string text = !spec.verilog_text.empty()
+                                 ? spec.verilog_text
+                                 : with_retries(retry, [&spec]() {
+                                     return slurp_file(spec.verilog_path);
+                                   });
+    if (spec.max_input_bytes > 0 && text.size() > spec.max_input_bytes) {
+      throw HidapError(ErrorCode::ResourceExhausted,
+                       "netlist input of " + std::to_string(text.size()) +
+                           " bytes exceeds the job limit of " +
+                           std::to_string(spec.max_input_bytes) + " bytes");
+    }
     const std::uint64_t design_key = ArtifactCache::design_key(text);
     outcome.design = cache_.design(
         design_key, [&text]() { return parse_verilog_string(text); },
@@ -70,7 +98,8 @@ JobOutcome PlacementSession::run(const PlacementJobSpec& spec) {
     options.job.seed = spec.seed;
     options.job.control = control.get();
     if (!spec.fix_def_path.empty()) {
-      const DefContents fixed = parse_def_file(spec.fix_def_path);
+      const DefContents fixed =
+          with_retries(retry, [&spec]() { return parse_def_file(spec.fix_def_path); });
       PlacementResult pre;
       apply_def_placement(design, fixed, pre);
       options.job.preplaced = std::move(pre.macros);
@@ -102,13 +131,25 @@ JobOutcome PlacementSession::run(const PlacementJobSpec& spec) {
 
     outcome.placement = place_macros(design, *context, options, std::nullopt, &artifacts);
     outcome.status = outcome.placement.status;
+    if (outcome.status == JobStatus::Cancelled) {
+      outcome.error_code = ErrorCode::Cancelled;
+    } else if (outcome.status == JobStatus::DeadlineExpired) {
+      outcome.error_code = ErrorCode::DeadlineExpired;
+    }
 
     // Donate this run's precomputes -- only from a completed run; a
     // stopped run's curves are partial-quality and must never serve a
-    // future hit (place_macros also refuses to export them).
+    // future hit (place_macros also refuses to export them). A failed
+    // donation (e.g. an injected cache.donate fault) degrades to a
+    // recompute on the next job; it never fails THIS completed job.
     if (outcome.status == JobStatus::Completed) {
-      if (!curves_were_cached) cache_.store_curves(curves_key, artifacts.shape_curves);
-      if (!plan_was_cached) cache_.store_plan(plan_key, artifacts.recursion_plan);
+      try {
+        if (!curves_were_cached) cache_.store_curves(curves_key, artifacts.shape_curves);
+        if (!plan_was_cached) cache_.store_plan(plan_key, artifacts.recursion_plan);
+      } catch (const std::exception& e) {
+        HIDAP_LOG_WARN("job %s: artifact donation failed (kept result): %s",
+                       spec.id.c_str(), e.what());
+      }
     }
 
     outcome.curves_cached = curves_were_cached;
@@ -116,7 +157,17 @@ JobOutcome PlacementSession::run(const PlacementJobSpec& spec) {
   } catch (const std::exception& e) {
     outcome.status = JobStatus::Failed;
     outcome.error = e.what();
-    control->post_progress("job %s failed: %s", spec.id.c_str(), e.what());
+    outcome.error_code = classify_exception(e);
+    control->post_progress("job %s failed [%s]: %s", spec.id.c_str(),
+                           to_string(outcome.error_code), e.what());
+  } catch (...) {
+    // Non-std exceptions stay inside the taxonomy too: run() promises
+    // to never throw, whatever the layers below do.
+    outcome.status = JobStatus::Failed;
+    outcome.error = "unknown non-standard exception";
+    outcome.error_code = ErrorCode::Internal;
+    control->post_progress("job %s failed [internal]: non-standard exception",
+                           spec.id.c_str());
   }
 
   // Detach the job-scoped state (sink, metric island) so a caller-owned

@@ -22,12 +22,14 @@
 // so concurrent jobs cannot observe each other.
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
 
 #include "core/hidap.hpp"
 #include "service/artifact_cache.hpp"
+#include "util/error.hpp"
 #include "util/job_control.hpp"
 
 namespace hidap {
@@ -51,6 +53,11 @@ struct PlacementJobSpec {
   /// an internal one) when the job starts.
   double timeout_s = 0.0;
 
+  /// Hard cap on the netlist source size in bytes (text or file
+  /// contents); 0 = unlimited. Oversized input fails the job with
+  /// ErrorCode::ResourceExhausted before any parse work is spent.
+  std::size_t max_input_bytes = 0;
+
   /// Optional externally-owned control: the server keeps it to route
   /// cancel requests into a running job. When null the session uses a
   /// job-local one (needed for timeout_s / progress).
@@ -66,6 +73,9 @@ struct PlacementJobSpec {
 struct JobOutcome {
   JobStatus status = JobStatus::Failed;
   std::string error;
+  /// Machine-readable failure category (util/error.hpp). Ok for
+  /// completed jobs; Cancelled / DeadlineExpired for stopped jobs.
+  ErrorCode error_code = ErrorCode::Ok;
   std::shared_ptr<const Design> design;  ///< for DEF/metrics output
   PlacementResult placement;
   double seconds = 0.0;  ///< this job's wall time inside run()

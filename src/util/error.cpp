@@ -1,0 +1,34 @@
+#include "util/error.hpp"
+
+namespace hidap {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::Ok: return "ok";
+    case ErrorCode::ParseError: return "parse_error";
+    case ErrorCode::IoError: return "io_error";
+    case ErrorCode::InvalidRequest: return "invalid_request";
+    case ErrorCode::ResourceExhausted: return "resource_exhausted";
+    case ErrorCode::Cancelled: return "cancelled";
+    case ErrorCode::DeadlineExpired: return "deadline_expired";
+    case ErrorCode::Internal: return "internal";
+  }
+  return "internal";
+}
+
+ErrorCode error_code_from_string(const std::string& name) {
+  for (const ErrorCode code :
+       {ErrorCode::Ok, ErrorCode::ParseError, ErrorCode::IoError,
+        ErrorCode::InvalidRequest, ErrorCode::ResourceExhausted, ErrorCode::Cancelled,
+        ErrorCode::DeadlineExpired, ErrorCode::Internal}) {
+    if (name == to_string(code)) return code;
+  }
+  return ErrorCode::Internal;
+}
+
+ErrorCode classify_exception(const std::exception& e) {
+  if (const auto* typed = dynamic_cast<const HidapError*>(&e)) return typed->code();
+  return ErrorCode::Internal;
+}
+
+}  // namespace hidap

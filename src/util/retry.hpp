@@ -1,0 +1,44 @@
+#pragma once
+// Bounded retry-with-backoff for transient failures (ISSUE 9).
+//
+// Only ErrorCode::IoError is presumed transient (see util/error.hpp):
+// a file read hit by an I/O hiccup can heal, while a parse error on the
+// same bytes cannot and is rethrown immediately. Attempts and backoff
+// come from the caller (the service seeds them from HIDAP_IO_RETRIES /
+// HIDAP_IO_BACKOFF_MS); backoff doubles per attempt. Retry attempts are
+// counted in the obs registry as io.retry_attempts.
+
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace hidap {
+
+struct RetryPolicy {
+  int attempts = 3;     ///< total tries, including the first (< 1 acts as 1)
+  int backoff_ms = 10;  ///< sleep before the first retry; doubles each retry
+};
+
+/// Runs `fn` until it succeeds, throws a non-transient error, or the
+/// attempt budget is spent (the last error is rethrown).
+template <typename F>
+auto with_retries(const RetryPolicy& policy, F&& fn) -> decltype(fn()) {
+  const int attempts = policy.attempts < 1 ? 1 : policy.attempts;
+  int backoff_ms = policy.backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const HidapError& e) {
+      if (!is_transient(e.code()) || attempt >= attempts) throw;
+    }
+    obs::default_registry().counter("io.retry_attempts").add(1);
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+  }
+}
+
+}  // namespace hidap

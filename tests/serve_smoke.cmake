@@ -101,6 +101,90 @@ if(NOT rushed_def MATCHES "COMPONENTS")
   message(FATAL_ERROR "serve_smoke: rushed.def has no COMPONENTS section")
 endif()
 
+# --- Robustness round (ISSUE 9): a second server instance with fail
+# points armed through HIDAP_FAILPOINTS, admission control at
+# --max-jobs 1 and a tight request-line limit. The daemon must survive
+# an injected job-thread exception, a missing input file, a shed
+# request and an oversized line, then still complete a healthy job.
+set(requests2 "")
+# serve.job:throw@once fires inside this job's worker thread; the
+# catch-all at the thread boundary turns it into a failed done event.
+string(APPEND requests2 "{\"op\":\"place\",\"id\":\"faulted\",\"verilog\":\"serve.v\",\"out\":\"faulted.def\",\"seed\":7,\"effort\":0.05}\n")
+string(APPEND requests2 "{\"op\":\"drain\"}\n")
+# Missing input: typed io_error after bounded retries. The armed
+# session.run:delay keeps this job in flight while the next request
+# arrives, so the shed below is deterministic at --max-jobs 1.
+string(APPEND requests2 "{\"op\":\"place\",\"id\":\"doomed\",\"verilog\":\"missing.v\",\"out\":\"doomed.def\",\"seed\":7,\"effort\":0.05}\n")
+string(APPEND requests2 "{\"op\":\"place\",\"id\":\"shed\",\"verilog\":\"serve.v\",\"out\":\"shed.def\",\"seed\":7,\"effort\":0.05}\n")
+string(APPEND requests2 "{\"op\":\"place\",\"id\":\"toolong\",\"verilog\":\"serve.v\",\"out\":\"PAD.def\",\"seed\":7,\"effort\":0.05}\n")
+string(APPEND requests2 "{\"op\":\"drain\"}\n")
+string(APPEND requests2 "{\"op\":\"place\",\"id\":\"healthy\",\"verilog\":\"serve.v\",\"out\":\"healthy.def\",\"seed\":7,\"effort\":0.05}\n")
+string(APPEND requests2 "{\"op\":\"drain\"}\n")
+string(APPEND requests2 "{\"op\":\"stats\"}\n")
+string(APPEND requests2 "{\"op\":\"quit\"}\n")
+# Inflate the toolong line past --max-line-bytes 400.
+string(REPEAT "x" 500 pad)
+string(REPLACE "PAD" "${pad}" requests2 "${requests2}")
+file(WRITE "${WORK_DIR}/requests2.jsonl" "${requests2}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+    "HIDAP_FAILPOINTS=serve.job:throw@once,session.run:delay(1500)@once"
+    "HIDAP_IO_BACKOFF_MS=0"
+    ${HIDAP_SERVE} --max-jobs 1 --max-line-bytes 400
+  WORKING_DIRECTORY ${WORK_DIR}
+  INPUT_FILE ${WORK_DIR}/requests2.jsonl
+  RESULT_VARIABLE rv OUTPUT_VARIABLE events2 ERROR_VARIABLE err
+  TIMEOUT 300)
+message(STATUS "serve_smoke robustness events:\n${events2}")
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "serve_smoke: hardened hidap_serve failed (exit ${rv}):\n${err}")
+endif()
+
+function(require_event2 pattern what)
+  if(NOT events2 MATCHES "${pattern}")
+    message(FATAL_ERROR "serve_smoke: missing ${what} in robustness events:\n${events2}")
+  endif()
+endfunction()
+
+# Injected job-thread exception: failed done event with a typed code,
+# not a dead daemon.
+require_event2("\"event\":\"done\",\"id\":\"faulted\",\"status\":\"failed\",\"code\":\"internal\"" "injected job fault -> typed failed done")
+# Missing file: typed io_error after the bounded retries.
+require_event2("\"event\":\"done\",\"id\":\"doomed\",\"status\":\"failed\",\"code\":\"io_error\"" "missing input -> typed io_error")
+# Admission control at --max-jobs 1 while doomed is still in flight.
+require_event2("\"event\":\"error\",\"id\":\"shed\",\"code\":\"resource_exhausted\"" "shed request -> resource_exhausted")
+# Oversized request line refused before parsing.
+require_event2("\"event\":\"error\",\"code\":\"invalid_request\",\"message\":\"request line of [0-9]+ bytes" "oversized line -> invalid_request")
+# The daemon served a healthy job after all of the above.
+require_event2("\"event\":\"done\",\"id\":\"healthy\",\"status\":\"completed\"" "healthy job after faults")
+require_event2("\"event\":\"stats\"[^\n]*\"jobs_completed\":1" "robustness jobs_completed count")
+require_event2("\"event\":\"stats\"[^\n]*\"jobs_failed\":1" "robustness jobs_failed count")
+require_event2("\"event\":\"stats\"[^\n]*\"jobs_shed\":1" "robustness jobs_shed count")
+if(NOT EXISTS "${WORK_DIR}/healthy.def")
+  message(FATAL_ERROR "serve_smoke: healthy.def was not written after the fault round")
+endif()
+# The healthy job ran with every fail point present (armed ones all
+# consumed); its DEF must match the never-faulted cold run exactly.
+file(READ "${WORK_DIR}/healthy.def" healthy_def)
+if(NOT cold_def STREQUAL healthy_def)
+  message(FATAL_ERROR "serve_smoke: healthy DEF differs from cold DEF after faults")
+endif()
+
+# CLI parse-failure contract: malformed netlist exits 5 with the line
+# number in the message.
+file(WRITE "${WORK_DIR}/bad.v" "module top(\n  !!!\n")
+execute_process(
+  COMMAND ${HIDAP_CLI} place -i bad.v -o bad.def --effort 0.05
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE rv OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rv EQUAL 5)
+  message(FATAL_ERROR "serve_smoke: expected exit 5 for a malformed netlist, got ${rv}:\n${out}\n${err}")
+endif()
+if(NOT err MATCHES "parse_error")
+  message(FATAL_ERROR "serve_smoke: exit-5 stderr should name parse_error:\n${err}")
+endif()
+
 # CLI deadline contract: --timeout-s expiry exits 4, still writes DEF.
 execute_process(
   COMMAND ${HIDAP_CLI} place -i serve.v -o cli_rushed.def --effort 0.05 --timeout-s 0.0001
