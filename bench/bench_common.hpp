@@ -13,6 +13,10 @@
 //                   level's inference sees earlier siblings' refinements;
 //                   sequential recursion). Default: snapshot semantics
 //                   with the task-graph scheduler on.
+//   HIDAP_ANNEAL_AUTOSCALE=1 -- per-level SA effort auto-scaling
+//                   (HiDaPOptions::anneal_autoscale; moves-per-step
+//                   scaled by subtree block count). Default off, like
+//                   the CLI's --anneal-autoscale.
 
 #include <cmath>
 #include <cstdio>
@@ -43,6 +47,11 @@ inline bool env_fast() {
 
 inline bool env_legacy_estimates() {
   const char* s = std::getenv("HIDAP_LEGACY_ESTIMATES");
+  return s && std::string(s) != "0";
+}
+
+inline bool env_anneal_autoscale() {
+  const char* s = std::getenv("HIDAP_ANNEAL_AUTOSCALE");
   return s && std::string(s) != "0";
 }
 
@@ -78,6 +87,7 @@ inline FlowOptions bench_flow_options(std::uint64_t seed = 1) {
   o.eval.place.target_clusters = 0;  // auto: sized to the spreading grid
   o.eval.place.solver_iterations = 50;
   o.hidap.legacy_estimate_order = env_legacy_estimates();
+  o.hidap.anneal_autoscale = env_anneal_autoscale();
   if (env_fast()) {
     o.hidap.layout_anneal.moves_per_temperature = 40;
     o.hidap.shape_fp.anneal.moves_per_temperature = 30;

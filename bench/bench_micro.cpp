@@ -335,8 +335,57 @@ void BM_BatchedEvaluate(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kBatch));
+  // Shared-prefix occupancy (the sa.lane_nodes* counters' source):
+  // walked/lane_nodes is the fraction of per-lane tree nodes that were
+  // actually dirty and re-parsed; the rest rode the committed caches.
+  const auto& walk = eval.lane_walk_stats();
+  state.counters["lane_nodes"] = static_cast<double>(walk.lane_nodes);
+  state.counters["nodes_walked"] = static_cast<double>(walk.nodes_walked);
 }
 BENCHMARK(BM_BatchedEvaluate)->Arg(8)->Arg(16)->Arg(32);
+
+// Lane-walk ablation pair: the identical 16-wide all-rejected batch
+// stream evaluated by the shared changed-prefix walk (propose_batch:
+// one classification pass, clean subtrees served from the committed
+// caches, lane-divergent suffixes composed vertically in SoA form) vs
+// the pre-lane-walk path (propose_batch_serial: one full scalar tree
+// evaluation per lane). Bit-identical outputs by contract -- the delta
+// is pure walk-sharing, reported per candidate.
+template <bool kShared>
+void lane_walk_bench(benchmark::State& state) {
+  LayoutBenchProblem lp = make_layout_problem(static_cast<int>(state.range(0)));
+  lp.problem.affinity = &lp.affinity;
+  Rng rng(17);
+  PolishExpression base;
+  const std::vector<PolishExpression> ring =
+      make_move_ring(static_cast<int>(lp.problem.blocks.size()), rng, base);
+  IncrementalLayoutEval eval(lp.problem.blocks, lp.problem.region, lp.problem.terminals,
+                             lp.affinity, base);
+  constexpr std::size_t kBatch = IncrementalLayoutEval::kMaxBatch;
+  std::array<double, kBatch> costs{};
+  std::size_t k = 0;
+  const auto generate = [&](std::size_t, PolishExpression& expr) {
+    expr = ring[k];
+    k = (k + 1) % ring.size();
+  };
+  for (auto _ : state) {
+    if constexpr (kShared) {
+      eval.propose_batch(kBatch, generate, costs.data());
+    } else {
+      eval.propose_batch_serial(kBatch, generate, costs.data());
+    }
+    benchmark::DoNotOptimize(costs);
+    eval.discard_batch();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+
+void BM_LaneTreeWalk(benchmark::State& state) { lane_walk_bench<true>(state); }
+BENCHMARK(BM_LaneTreeWalk)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SerialLaneWalk(benchmark::State& state) { lane_walk_bench<false>(state); }
+BENCHMARK(BM_SerialLaneWalk)->Arg(8)->Arg(16)->Arg(32);
 
 // The SoA reduction in isolation: K lanes of sparse per-term overrides
 // summed against a committed term vector (LaneTermBatch::reduce) vs the

@@ -51,6 +51,7 @@ struct Args {
   bool parallel_levels = true;
   bool legacy_estimate_order = false;
   bool batch_moves = true;
+  bool anneal_autoscale = false;
   bool phase_summary = false;
 };
 
@@ -87,6 +88,9 @@ struct Args {
                "               speculative SoA batches (the batched oracle path;\n"
                "               results are byte-identical, only slower;\n"
                "               batch width: HIDAP_SA_BATCH, default 8)\n"
+               "  --anneal-autoscale  scale each level's SA moves-per-step by its\n"
+               "               block count (quality/wall tradeoff; changes the\n"
+               "               accept stream, so results differ from default)\n"
                "  --log-level {debug,info,warn,error}  console verbosity\n"
                "               (default warn; progress lines are always on)\n"
                "  observability (any command; placements are byte-identical\n"
@@ -130,6 +134,7 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--no-parallel-levels") args.parallel_levels = false;
     else if (flag == "--legacy-estimate-order") args.legacy_estimate_order = true;
     else if (flag == "--no-batch-moves") args.batch_moves = false;
+    else if (flag == "--anneal-autoscale") args.anneal_autoscale = true;
     else if (flag == "--trace-json") args.trace_json = next();
     else if (flag == "--metrics-json") args.metrics_json = next();
     else if (flag == "--phase-summary") args.phase_summary = true;
@@ -153,6 +158,7 @@ int cmd_place(const Args& args) {
   options.layout_anneal.chains = std::max(1, args.chains);
   options.layout_anneal.incremental = args.incremental;
   options.layout_anneal.batch_moves = args.batch_moves;
+  options.anneal_autoscale = args.anneal_autoscale;
   options.scale_effort(args.effort);
   if (!args.fix.empty()) {
     const DefContents fixed = parse_def_file(args.fix);
@@ -229,6 +235,7 @@ int cmd_flows(const Args& args) {
   options.hidap.layout_anneal.chains = std::max(1, args.chains);
   options.hidap.layout_anneal.incremental = args.incremental;
   options.hidap.layout_anneal.batch_moves = args.batch_moves;
+  options.hidap.anneal_autoscale = args.anneal_autoscale;
   const FlowComparison cmp = compare_flows(design, options);
   ReportTable table({"flow", "WL(m)", "norm", "GRC%", "WNS%", "TNS(ns)", "time(s)"});
   for (const Metrics* m : {&cmp.indeda, &cmp.hidap, &cmp.handfp}) {

@@ -58,19 +58,21 @@ PlacementResult place_macros(const Design& design, const PlacementContext& conte
       floorplanner.adopt_recursion_plan(*artifacts->recursion_plan);
     }
   }
-  // Run curve generation eagerly (run() would do it lazily with the same
-  // per-node seeds, so this is bit-identical) to give the phase its own
-  // wall clock. Adopted curves cost nothing and report nothing.
-  if (!curves_adopted) {
-    Timer curves_timer;
-    floorplanner.generate_shape_curves();
-    post_phase_micros(control, "phase.curves_us", curves_timer.seconds());
-  }
+  // Curve generation is left to run(): under overlap_curves the shards
+  // run as a pool task overlapped with the recursion front (joined at
+  // the level-0 anneal's first curve read), and with one lane run()
+  // generates eagerly -- both with the same per-node seeds, so results
+  // are bit-identical to the old eager call. The phase clock comes from
+  // the floorplanner itself (an outer timer would misattribute the
+  // overlapped span). Adopted curves cost nothing and report nothing.
   Timer recursion_timer;
   PlacementResult result;
   {
     obs::Span recursion_span("recursion", "pipeline");
     result = floorplanner.run(die);
+  }
+  if (!curves_adopted) {
+    post_phase_micros(control, "phase.curves_us", floorplanner.curves_seconds());
   }
   post_phase_micros(control, "phase.recursion_us", recursion_timer.seconds());
 

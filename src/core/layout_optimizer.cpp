@@ -7,6 +7,8 @@
 
 #include "floorplan/annealer.hpp"
 #include "floorplan/incremental_eval.hpp"
+#include "obs/metrics.hpp"
+#include "util/job_control.hpp"
 #include "util/log.hpp"
 
 namespace hidap {
@@ -151,6 +153,27 @@ LayoutSolution optimize_layout(const LayoutProblem& problem,
   int winner = 0;
   anneal_multichain(opts, make_chain, &winner, problem.num_threads);
   PolishExpression& best = states[static_cast<std::size_t>(winner)].best;
+
+  // Shared-prefix occupancy of the lane-batched tree walk, summed over
+  // the chains and flushed once per optimize (the annealer's own
+  // counters flush per schedule; these live in the evaluators, which the
+  // annealer never sees). Hit ratio = 1 - lane_nodes_walked / lane_nodes.
+  IncrementalLayoutEval::LaneWalkStats walk{};
+  for (const ChainState& st : states) {
+    if (st.inc == nullptr) continue;
+    walk.batches += st.inc->lane_walk_stats().batches;
+    walk.lane_nodes += st.inc->lane_walk_stats().lane_nodes;
+    walk.nodes_walked += st.inc->lane_walk_stats().nodes_walked;
+  }
+  if (walk.batches > 0) {
+    obs::MetricsRegistry* registries[2] = {&obs::default_registry(), nullptr};
+    if (opts.control != nullptr) registries[1] = opts.control->job_metrics();
+    for (obs::MetricsRegistry* registry : registries) {
+      if (registry == nullptr) continue;
+      registry->counter("sa.lane_nodes").add(walk.lane_nodes);
+      registry->counter("sa.lane_nodes_walked").add(walk.nodes_walked);
+    }
+  }
 
   BudgetResult res;
   solution.cost = evaluate_layout_full(problem, best, &res);

@@ -68,6 +68,25 @@ struct HiDaPOptions {
   // the pre-PR5 flow; overrides parallel_levels when set.
   bool legacy_estimate_order = false;
 
+  // Overlap shape-curve generation with the recursion front: run() then
+  // dispatches the depth-rank curve shards as a sibling pool task and
+  // joins it right before the level-0 anneal first reads a curve, hiding
+  // the curve wall behind recursion planning, target-area assignment and
+  // dataflow inference. Curves and placements are bit-identical either
+  // way (the shards write only shape_curves_, which nothing in the
+  // overlap window reads, and per-node seeds ignore scheduling); with
+  // one thread the dispatch degenerates to the eager call.
+  bool overlap_curves = true;
+
+  // Per-level anneal effort auto-scaling (off by default; --anneal-
+  // autoscale to opt in): moves-per-temperature of each level's layout
+  // anneal scales with the level's block count via autoscaled_moves(),
+  // spending schedule length where the move space is large instead of
+  // uniformly. Changes the accept stream by design, so it is excluded
+  // from all bit-identity contracts; BENCH_pr10.json records its
+  // Table II quality/wall tradeoff.
+  bool anneal_autoscale = false;
+
   /// Scales SA effort (moves per temperature, cooling) by a factor;
   /// benches use ~0.3-1, the handFP proxy ~3.
   void scale_effort(double factor);

@@ -10,9 +10,11 @@
 #include "core/decluster.hpp"
 #include "core/layout_optimizer.hpp"
 #include "core/target_area.hpp"
+#include "floorplan/annealer.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/log.hpp"
+#include "util/timer.hpp"
 
 namespace hidap {
 
@@ -30,6 +32,18 @@ RecursiveFloorplanner::RecursiveFloorplanner(const Design& design,
   plan_.resize(ht.size());
 }
 
+RecursiveFloorplanner::~RecursiveFloorplanner() {
+  if (!curves_task_.valid()) return;
+  if (curves_claimed_ != nullptr && !curves_claimed_->exchange(true)) {
+    // Still queued: claiming turns the task into a no-op that never
+    // dereferences *this, so it may outlive us.
+    return;
+  }
+  // A worker claimed it: it is actively generating into our members;
+  // finite wait (the shards never block on other futures).
+  curves_task_.wait();
+}
+
 void RecursiveFloorplanner::adopt_shape_curves(const std::vector<ShapeCurve>& curves) {
   assert(curves.size() == ht_.size() && "curve set from a different hierarchy");
   shape_curves_ = curves;
@@ -42,7 +56,28 @@ void RecursiveFloorplanner::adopt_recursion_plan(const RecursionPlan& plan) {
   plan_adopted_ = true;
 }
 
+void RecursiveFloorplanner::ensure_shape_curves() {
+  if (curves_task_.valid()) {
+    if (curves_claimed_ != nullptr && !curves_claimed_->exchange(true)) {
+      // The task is still queued (no worker was free): claim it and run
+      // the generation right here. Blocking on a queued task instead
+      // would deadlock a saturated pool -- with every lane inside its
+      // own placement, all lanes are joiners and none is left to drain
+      // the queue. The abandoned task no-ops without touching *this.
+      curves_task_ = {};
+      generate_shape_curves();
+    } else {
+      // A worker is generating; get() (not wait()) so an exception from
+      // the shards surfaces here, on the thread that needs the curves.
+      std::future<void> task = std::move(curves_task_);
+      task.get();
+    }
+  }
+  if (!curves_ready_) generate_shape_curves();
+}
+
 void RecursiveFloorplanner::generate_shape_curves() {
+  Timer curves_timer;
   obs::Span span("shape_curves", "scheduler");
   // A node's curve depends only on its children's, which sit strictly
   // deeper, so the bottom-up sweep is sharded by tree depth: every rank
@@ -102,10 +137,27 @@ void RecursiveFloorplanner::generate_shape_curves() {
         lanes);
   }
   curves_ready_ = true;
+  curves_seconds_ = curves_timer.seconds();
 }
 
 PlacementResult RecursiveFloorplanner::run(const Rect& die) {
-  if (!curves_ready_) generate_shape_curves();
+  if (!curves_ready_ && !curves_task_.valid()) {
+    if (options_.overlap_curves && effective_thread_count(options_.num_threads) > 1) {
+      // Overlap the curve shards with the recursion front: everything up
+      // to the level-0 anneal (planning, target areas, dataflow
+      // inference) reads no curve, so the dispatch hides the curve wall
+      // behind it. ensure_shape_curves() joins at the first read; the
+      // claim flag makes the join run the generation itself when no
+      // worker picked the task up (see the member comment).
+      curves_claimed_ = std::make_shared<std::atomic<bool>>(false);
+      curves_task_ = ThreadPool::global().submit(
+          [this, claimed = curves_claimed_] {
+            if (!claimed->exchange(true)) generate_shape_curves();
+          });
+    } else {
+      generate_shape_curves();
+    }
+  }
   die_ = die;
   result_ = PlacementResult{};
   store_.reset(options_.job.preplaced);
@@ -123,6 +175,10 @@ PlacementResult RecursiveFloorplanner::run(const Rect& die) {
                           std::make_move_iterator(root.macros.end()));
     result_.snapshots = std::move(root.snapshots);
   }
+  // Fallback/empty paths above may return without ever reading a curve;
+  // join here so the artifact export (and our members) never race an
+  // in-flight dispatch.
+  ensure_shape_curves();
   return std::move(result_);
 }
 
@@ -227,7 +283,9 @@ void RecursiveFloorplanner::floorplan_level(HtNodeId nh, const Rect& region, int
   const LevelDataflow flow =
       infer_level_dataflow(design_, ht_, seq_, nh, hcb, estimates, options_);
 
-  // --- step 6: layout generation.
+  // --- step 6: layout generation. First curve read of the recursion:
+  // join the overlapped curve dispatch (a no-op below level 0).
+  ensure_shape_curves();
   LayoutProblem problem;
   problem.region = region;
   problem.terminals = flow.terminal_positions;
@@ -246,6 +304,12 @@ void RecursiveFloorplanner::floorplan_level(HtNodeId nh, const Rect& region, int
   AnnealOptions anneal = options_.layout_anneal;
   anneal.seed = options_.job.seed * 0xd1342543de82ef95ULL + plan.ordinal;
   anneal.control = control;
+  if (options_.anneal_autoscale) {
+    // Opt-in effort scaling by this level's block count (see
+    // HiDaPOptions::anneal_autoscale; outside the bit-identity contract).
+    anneal.moves_per_temperature =
+        autoscaled_moves(anneal.moves_per_temperature, hcb.size());
+  }
   const LayoutSolution layout = optimize_layout(problem, anneal);
 
   // Snapshot for Fig. 1-style visualization.

@@ -34,6 +34,8 @@
 // behavior (inference sees earlier siblings' refinements; sequential
 // only), kept golden-pinned for comparison.
 
+#include <atomic>
+#include <future>
 #include <memory>
 #include <vector>
 
@@ -77,8 +79,13 @@ class RecursiveFloorplanner {
   RecursiveFloorplanner(const Design& design, const CellAdjacency& adjacency,
                         const HierTree& ht, const SeqGraph& seq,
                         const HiDaPOptions& options);
+  ~RecursiveFloorplanner();  // joins an in-flight curve dispatch
 
   /// Runs shape-curve generation followed by the recursion over the die.
+  /// With HiDaPOptions::overlap_curves (and more than one lane) the
+  /// curve shards run as a sibling pool task overlapped with recursion
+  /// planning and the level-0 target-area / dataflow work, joined just
+  /// before the level-0 anneal first reads a curve.
   PlacementResult run(const Rect& die);
 
   /// Adopts cached precomputes instead of recomputing them in run().
@@ -99,6 +106,11 @@ class RecursiveFloorplanner {
   const std::vector<ShapeCurve>& shape_curves() const { return shape_curves_; }
   void generate_shape_curves();
 
+  /// Wall seconds the last generate_shape_curves() spent (the phase's
+  /// own clock: under overlap_curves the work runs concurrently with the
+  /// recursion front, so an outer timer would misattribute it).
+  double curves_seconds() const { return curves_seconds_; }
+
   /// Rectangle assigned to each HT node during the recursion (empty
   /// entries for nodes never floorplanned). Used by macro flipping to
   /// estimate standard-cell positions.
@@ -112,6 +124,12 @@ class RecursiveFloorplanner {
     std::vector<MacroPlacement> macros;
     std::vector<LevelSnapshot> snapshots;
   };
+
+  /// Joins the overlapped curve dispatch (no-op when the curves were
+  /// generated inline or adopted). Called at every first-read site; only
+  /// the level-0 invocation -- which runs on the run() thread before any
+  /// child task is spawned -- can actually observe a pending future.
+  void ensure_shape_curves();
 
   void plan_recursion();
   void plan_level(HtNodeId nh, int depth, std::uint64_t& counter);
@@ -138,6 +156,18 @@ class RecursiveFloorplanner {
   Rect die_{};  // run()'s die; bounds the stop-path grid fallback
   bool curves_ready_ = false;
   bool plan_adopted_ = false;
+  /// Overlapped curve generation in flight (overlap_curves); the shards
+  /// write only shape_curves_ / curves_seconds_, which nothing in the
+  /// overlap window reads, and the join publishes them. The claim flag
+  /// decides who runs the generation -- the first of the pool task and
+  /// the joiner to flip it wins -- so the joiner NEVER blocks on a
+  /// still-queued task: on a saturated pool (every lane inside its own
+  /// placement) all lanes may be joiners at once, and queue-blocking
+  /// would deadlock the pool. Shared so an abandoned no-op task never
+  /// dereferences *this.
+  std::future<void> curves_task_;
+  std::shared_ptr<std::atomic<bool>> curves_claimed_;
+  double curves_seconds_ = 0.0;
 };
 
 }  // namespace hidap

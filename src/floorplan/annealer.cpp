@@ -58,6 +58,11 @@ void flush_anneal_metrics(const AnnealOptions& options, const AnnealStats& stats
 
 }  // namespace
 
+int autoscaled_moves(int base, std::size_t blocks) {
+  const double scale = std::clamp(static_cast<double>(blocks) / 8.0, 0.5, 4.0);
+  return std::max(1, static_cast<int>(base * scale));
+}
+
 AnnealStats anneal(double initial_cost, const AnnealOptions& options,
                    const AnnealHooks& hooks) {
   obs::Span span(options.obs_site != nullptr ? options.obs_site : "anneal", "sa");
@@ -188,7 +193,12 @@ AnnealStats anneal(double initial_cost, const AnnealOptions& options,
           }
           break;
         }
-        stats.batch_wasted += static_cast<long>(k - used);
+        // Waste is the lanes an acceptance invalidated, and only those:
+        // a cooperative stop also leaves trailing lanes unconsumed, but
+        // those were abandoned, not wasted on speculation -- counting
+        // them would overstate the wasted-vs-offered ratio
+        // (batch_wasted / batch_candidates) of every stopped run.
+        if (accepted_one) stats.batch_wasted += static_cast<long>(k - used);
         if (!accepted_one) hooks.discard_batch();
       }
     } else {

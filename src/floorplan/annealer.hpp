@@ -7,6 +7,7 @@
 // geometric cooling, a fixed number of attempted moves per temperature,
 // and freezing on temperature floor or stagnation.
 
+#include <cstddef>
 #include <functional>
 
 #include "util/rng.hpp"
@@ -135,10 +136,12 @@ struct AnnealStats {
   /// best cost/solution seen so far is still valid.
   bool stopped = false;
   /// Batched-evaluation accounting (zero when the scalar loop ran).
-  /// batch_candidates counts speculative evaluations; batch_wasted
-  /// counts those discarded because an earlier candidate in the batch
-  /// was accepted first (occupancy = batch_candidates / batches,
-  /// waste ratio = batch_wasted / batch_candidates).
+  /// batch_candidates counts speculative evaluations offered;
+  /// batch_wasted counts only those discarded because an earlier
+  /// candidate in the batch was accepted first -- lanes left unconsumed
+  /// by a cooperative stop are abandoned, not wasted, and are excluded
+  /// (occupancy = batch_candidates / batches, wasted-vs-offered ratio =
+  /// batch_wasted / batch_candidates).
   long batches = 0;
   long batch_candidates = 0;
   long batch_wasted = 0;
@@ -147,6 +150,14 @@ struct AnnealStats {
 /// Runs the schedule; `initial_cost` is the cost of the starting state.
 AnnealStats anneal(double initial_cost, const AnnealOptions& options,
                    const AnnealHooks& hooks);
+
+/// Per-level anneal effort auto-scaling (HiDaPOptions::anneal_autoscale):
+/// scales a base moves-per-temperature with the level's block count --
+/// linear around a reference of 8 blocks, clamped to [0.5x, 4x] so tiny
+/// levels still mix and huge levels stay bounded. A pure function of its
+/// arguments (unit-tested directly); opting in changes the accept stream
+/// by design, so it sits outside every bit-identity contract.
+int autoscaled_moves(int base, std::size_t blocks);
 
 /// One chain of a multi-chain run: hooks bound to chain-local state plus
 /// the cost of that chain's starting solution.

@@ -34,116 +34,40 @@ BudgetNodeInfo budget_compose_info(int op, const BudgetNodeInfo& l, const Budget
 
 namespace {
 
-// Minimal extent a subtree needs along the split axis, given the fixed
-// extent of the other axis. Returns 0 when the subtree has no macros.
-// When its curve cannot fit the cross extent at all, the cheapest
-// (min-area) curve point defines the demand and the overflow is charged
-// as macro deficit later, at the leaves.
+// Minimal extent of a subtree info (see budget_min_extent).
 double min_extent(const BudgetNodeInfo& info, double cross, bool along_width) {
-  if (info.gamma.empty()) return 0.0;
-  const auto need = along_width ? info.gamma.min_width_for_height(cross)
-                                : info.gamma.min_height_for_width(cross);
-  if (need) return *need;
-  const auto best = info.gamma.min_area_shape();
-  if (!best) return 0.0;
-  return along_width ? best->w : best->h;
+  return budget_min_extent(BudgetCurveRef::of(info.gamma), cross, along_width);
 }
 
-// Grades the final rectangle of a leaf block against its <Gamma, am, at>.
-// Returns true iff any violation op fired (feeds BudgetSplitCache::
-// touched; a fired add may still leave the accumulator bit-unchanged
-// through IEEE absorption, so the totals cannot stand in for this).
-bool score_leaf(const BudgetBlock& b, const Rect& rect, BudgetViolations& v) {
-  bool fired = false;
-  const double area = rect.area();
-  if (area + 1e-9 < b.at) {
-    v.at_deficit += b.at - area;
-    fired = true;
-  }
-  if (area + 1e-9 < b.am) {
-    v.am_deficit += b.am - area;
-    fired = true;
-  }
-  if (!b.gamma.empty() && !b.gamma.fits(rect.w, rect.h)) {
-    fired = true;
-    ++v.infeasible_leaves;
-    // Overflow area of the best attempt: how much macro bounding box
-    // sticks out of the rectangle.
-    double overflow = 0.0;
-    double best_overflow = -1.0;
-    for (const Shape& s : b.gamma.points()) {
-      const double ow = std::max(0.0, s.w - rect.w);
-      const double oh = std::max(0.0, s.h - rect.h);
-      overflow = ow * rect.h + oh * rect.w + ow * oh;
-      if (best_overflow < 0 || overflow < best_overflow) best_overflow = overflow;
-    }
-    v.macro_deficit += std::max(best_overflow, 0.0);
-  }
-  return fired;
-}
-
-// Skip decisions demand bit equality, not operator== (which would let a
-// -0.0/+0.0 mismatch smuggle in a sign-of-zero divergence downstream).
-// Failing the comparison is always safe -- the pass just recurses.
-bool bits_equal(double a, double b) {
-  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
-}
-
-bool bits_equal(const Rect& a, const Rect& b) {
-  return bits_equal(a.x, b.x) && bits_equal(a.y, b.y) && bits_equal(a.w, b.w) &&
-         bits_equal(a.h, b.h);
-}
-
-bool bits_equal(const BudgetViolations& a, const BudgetViolations& b) {
-  return bits_equal(a.at_deficit, b.at_deficit) && bits_equal(a.am_deficit, b.am_deficit) &&
-         bits_equal(a.macro_deficit, b.macro_deficit) &&
-         a.infeasible_leaves == b.infeasible_leaves;
-}
-
-// `entry_checks` gates the rule-2 (accumulator-entry) comparisons: once a
-// clean subtree root has diverged from its committed entry state, its
-// descendants' entries have (in practice) diverged too, so re-comparing
-// them at every level would pay for compares that cannot succeed.
-// Gating is a pure heuristic -- a missed skip just recurses, which is
-// always bit-correct -- while rule 1 (untouched spans) keeps firing, as
-// it is valid from any accumulator state.
+// One skip rule (full-pass-equivalent, valid from ANY accumulator
+// state): a subtree whose content is unchanged and whose rectangle is
+// bit-equal to the committed pass lays out identically, so its leaf
+// rects are the committed ones and its violation adds replay from the
+// committed journal slice of its span -- the identical operands in the
+// identical order (see BudgetLeafAdds). No accumulator-entry comparison
+// is needed, which is what lets skips keep firing downstream of a
+// divergent (dirty) leaf, where the running totals have drifted.
 void assign(const SlicingTree& tree, const BudgetNodeInfo* const* infos,
             const std::vector<BudgetBlock>& blocks, int node_id, const Rect& rect,
-            BudgetResult& result, const BudgetSkipContext* skip, bool entry_checks) {
+            BudgetResult& result, const BudgetSkipContext* skip) {
   const auto idx = static_cast<std::size_t>(node_id);
-  bool child_entry_checks = entry_checks;
   if (skip != nullptr) {
-    bool skippable = false;
-    if (skip->committed != nullptr && skip->clean[idx]) {
-      if (!skip->committed->touched[idx]) {
-        // No violation op fired in this subtree during the committed
-        // pass, and whether an op fires depends only on blocks and
-        // rectangles (never on the running totals): the replay is an
-        // identity from ANY accumulator state. Skip without touching
-        // result.violations. (The explicit flag matters: bit-equal
-        // entry/exit totals would not prove this -- a fired positive add
-        // can be absorbed by a large accumulator.)
-        skippable = bits_equal(skip->committed->node_rect[idx], rect);
-      } else if (entry_checks) {
-        if (bits_equal(skip->committed->node_rect[idx], rect) &&
-            bits_equal(skip->committed->entry[idx], result.violations)) {
-          // Same subtree content, same rectangle, same accumulator state
-          // on entry: the oracle would replay the committed operation
-          // sequence verbatim, so jump to its recorded exit state.
-          result.violations = skip->committed->exit[idx];
-          skippable = true;
-        } else {
-          child_entry_checks = false;
-        }
+    if (skip->committed != nullptr && skip->clean[idx] &&
+        budget_bits_equal(skip->committed->node_rect[idx], rect)) {
+      const auto span = static_cast<std::uint32_t>(skip->span_start[idx]);
+      const std::vector<BudgetSplitCache::FiredLeaf>& fired = skip->committed->fired;
+      auto it = std::lower_bound(
+          fired.begin(), fired.end(), span,
+          [](const BudgetSplitCache::FiredLeaf& f, std::uint32_t p) { return f.pos < p; });
+      const auto first = it;
+      for (; it != fired.end() && it->pos <= idx; ++it) {
+        budget_apply_adds(it->adds, result.violations);
       }
-    }
-    if (skippable) {
       // The span's leaf rects keep their committed (identical) values:
       // copied here when the committed rects are at hand, pre-seeded by
       // the caller otherwise.
       if (skip->committed_leaf_rects != nullptr) {
-        for (std::size_t p = static_cast<std::size_t>(skip->span_start[idx]); p <= idx;
-             ++p) {
+        for (std::size_t p = span; p <= idx; ++p) {
           const SlicingTree::Node& n = tree.nodes[p];
           if (n.is_leaf()) {
             const auto leaf = static_cast<std::size_t>(n.leaf);
@@ -155,34 +79,27 @@ void assign(const SlicingTree& tree, const BudgetNodeInfo* const* infos,
         // Refresh the record from the committed snapshots so a later
         // pass can skip any sub-span of this subtree too (snapshots of
         // an unchanged span stay valid forever: they are pure functions
-        // of its blocks, rectangle and entry state).
-        const auto s = static_cast<std::size_t>(skip->span_start[idx]);
-        const auto count = static_cast<std::ptrdiff_t>(idx + 1 - s);
-        const auto at = static_cast<std::ptrdiff_t>(s);
-        std::copy_n(skip->committed->node_rect.begin() + at, count,
-                    skip->record->node_rect.begin() + at);
-        std::copy_n(skip->committed->entry.begin() + at, count,
-                    skip->record->entry.begin() + at);
-        std::copy_n(skip->committed->exit.begin() + at, count,
-                    skip->record->exit.begin() + at);
-        std::copy_n(skip->committed->touched.begin() + at, count,
-                    skip->record->touched.begin() + at);
+        // of its blocks and rectangle). Journal appends stay sorted:
+        // the walk reaches spans in ascending position order.
+        const auto s = static_cast<std::ptrdiff_t>(span);
+        std::copy_n(skip->committed->node_rect.begin() + s,
+                    static_cast<std::ptrdiff_t>(idx + 1) - s,
+                    skip->record->node_rect.begin() + s);
+        skip->record->fired.insert(skip->record->fired.end(), first, it);
       }
       return;
     }
-    if (skip->record != nullptr) {
-      skip->record->node_rect[idx] = rect;
-      skip->record->entry[idx] = result.violations;
-    }
+    if (skip->record != nullptr) skip->record->node_rect[idx] = rect;
   }
 
   const SlicingTree::Node& node = tree.nodes[idx];
   if (node.is_leaf()) {
     result.leaf_rects[static_cast<std::size_t>(node.leaf)] = rect;
-    const bool fired =
-        score_leaf(blocks[static_cast<std::size_t>(node.leaf)], rect, result.violations);
-    if (skip != nullptr && skip->record != nullptr) {
-      skip->record->touched[idx] = fired ? 1 : 0;
+    const BudgetLeafAdds adds =
+        budget_leaf_adds(blocks[static_cast<std::size_t>(node.leaf)], rect);
+    budget_apply_adds(adds, result.violations);
+    if (adds.fired() && skip != nullptr && skip->record != nullptr) {
+      skip->record->fired.push_back({static_cast<std::uint32_t>(idx), adds});
     }
   } else {
     const BudgetNodeInfo& l = *infos[static_cast<std::size_t>(node.left)];
@@ -202,10 +119,9 @@ void assign(const SlicingTree& tree, const BudgetNodeInfo* const* infos,
         wl = rect.w * (min_l / (min_l + min_r));
       }
       assign(tree, infos, blocks, node.left, Rect{rect.x, rect.y, wl, rect.h}, result,
-             skip, child_entry_checks);
+             skip);
       assign(tree, infos, blocks, node.right,
-             Rect{rect.x + wl, rect.y, rect.w - wl, rect.h}, result, skip,
-             child_entry_checks);
+             Rect{rect.x + wl, rect.y, rect.w - wl, rect.h}, result, skip);
     } else {
       // Stacked: split the height.
       double hl = rect.h * ratio;
@@ -217,19 +133,9 @@ void assign(const SlicingTree& tree, const BudgetNodeInfo* const* infos,
         hl = rect.h * (min_l / (min_l + min_r));
       }
       assign(tree, infos, blocks, node.left, Rect{rect.x, rect.y, rect.w, hl}, result,
-             skip, child_entry_checks);
+             skip);
       assign(tree, infos, blocks, node.right,
-             Rect{rect.x, rect.y + hl, rect.w, rect.h - hl}, result, skip,
-             child_entry_checks);
-    }
-  }
-
-  if (skip != nullptr && skip->record != nullptr) {
-    skip->record->exit[idx] = result.violations;
-    if (!node.is_leaf()) {
-      skip->record->touched[idx] =
-          skip->record->touched[static_cast<std::size_t>(node.left)] |
-          skip->record->touched[static_cast<std::size_t>(node.right)];
+             Rect{rect.x, rect.y + hl, rect.w, rect.h - hl}, result, skip);
     }
   }
 }
@@ -241,7 +147,8 @@ void budget_assign(const SlicingTree& tree, const BudgetNodeInfo* const* infos,
                    BudgetResult& result, const BudgetSkipContext* skip) {
   assert(skip == nullptr || skip->committed == nullptr ||
          (skip->clean != nullptr && skip->span_start != nullptr));
-  assign(tree, infos, blocks, tree.root, budget, result, skip, /*entry_checks=*/true);
+  if (skip != nullptr && skip->record != nullptr) skip->record->fired.clear();
+  assign(tree, infos, blocks, tree.root, budget, result, skip);
 }
 
 BudgetResult budget_layout(const PolishExpression& expr,

@@ -1,0 +1,209 @@
+#include "floorplan/lane_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hidap {
+
+void LaneShapeBatch::begin() {
+  slots_.clear();
+  cursor_ = 0;
+}
+
+namespace {
+
+// Per-job sweep cursors: forward for the horizontal compose, one-past
+// backward for the vertical compose -- the same walk directions as the
+// scalar composers.
+struct SweepState {
+  std::size_t i = 0, j = 0;
+  std::uint32_t out = 0;  ///< points emitted so far
+  double last = -1.0;     ///< last emitted binding coordinate (dims are positive)
+  bool active = false;
+};
+
+}  // namespace
+
+void LaneShapeBatch::compose(Job* jobs, std::size_t count, std::size_t curve_points) {
+  assert(count <= kMaxJobs);
+
+  struct Plan {
+    BudgetCurveRef l, r;  // resolved only after the arena resize below
+    std::uint32_t off = 0;
+    std::uint32_t cap = 0;
+    std::uint32_t n = 0;  // produced points, pre-prune
+    enum Mode { kSweep, kCopyLeft, kCopyRight, kEmpty } mode = kEmpty;
+  };
+  Plan plans[kMaxJobs];
+
+  // Pass 1: operand sizes are known up front, so every job's output
+  // region is allocated before any sweep runs -- the interleaved sweeps
+  // then write disjoint runs and never reallocate under each other.
+  const auto operand_size = [&](const Operand& o) {
+    return o.aos != nullptr ? o.aos->points().size() : slot_size(o.slot);
+  };
+  for (std::size_t c = 0; c < count; ++c) {
+    Plan& p = plans[c];
+    const std::size_t ln = operand_size(jobs[c].left);
+    const std::size_t rn = operand_size(jobs[c].right);
+    // The empty-child cases of budget_compose_info: an empty gamma means
+    // "no macros below", and the composed curve is the other child's.
+    if (ln == 0 && rn == 0) {
+      p.mode = Plan::kEmpty;
+    } else if (ln == 0) {
+      p.mode = Plan::kCopyRight;
+      p.cap = static_cast<std::uint32_t>(rn);
+    } else if (rn == 0) {
+      p.mode = Plan::kCopyLeft;
+      p.cap = static_cast<std::uint32_t>(ln);
+    } else {
+      p.mode = Plan::kSweep;
+      p.cap = static_cast<std::uint32_t>(ln + rn);
+    }
+    p.off = static_cast<std::uint32_t>(cursor_);
+    cursor_ += p.cap;
+  }
+  if (w_.size() < cursor_) {
+    w_.resize(cursor_);
+    h_.resize(cursor_);
+  }
+  const auto operand_ref = [&](const Operand& o) {
+    return o.aos != nullptr ? BudgetCurveRef::of(*o.aos) : slot_ref(o.slot);
+  };
+  for (std::size_t c = 0; c < count; ++c) {
+    plans[c].l = operand_ref(jobs[c].left);
+    plans[c].r = operand_ref(jobs[c].right);
+  }
+
+  // Pass 2: copies (empty-child cases) run directly; sweeps are set up.
+  SweepState st[kMaxJobs];
+  std::size_t active = 0;
+  for (std::size_t c = 0; c < count; ++c) {
+    Plan& p = plans[c];
+    if (p.mode == Plan::kCopyLeft || p.mode == Plan::kCopyRight) {
+      const BudgetCurveRef& src = p.mode == Plan::kCopyLeft ? p.l : p.r;
+      for (std::size_t t = 0; t < src.n; ++t) {
+        w_[p.off + t] = src.width(t);
+        h_[p.off + t] = src.height(t);
+      }
+      p.n = static_cast<std::uint32_t>(src.n);
+    } else if (p.mode == Plan::kSweep) {
+      st[c].active = true;
+      ++active;
+      if (jobs[c].op == kOpH) {
+        // Vertical compose walks both frontiers backwards.
+        st[c].i = p.l.n;
+        st[c].j = p.r.n;
+      }
+    }
+  }
+
+  // Pass 3: the vertical sweep -- every active job advances one emit +
+  // advance step per round, so the per-level minimal-pair work runs
+  // across lanes instead of lane after lane. Each single step is the
+  // exact loop body of ShapeCurve::compose_horizontal (op == kOpV,
+  // side-by-side: widths add, heights max, walk in merged descending-
+  // height order) or compose_vertical (op == kOpH, stacked: transposed,
+  // walked backwards), including the rounding-collision overwrite of the
+  // previous point's free coordinate.
+  while (active > 0) {
+    for (std::size_t c = 0; c < count; ++c) {
+      SweepState& s = st[c];
+      if (!s.active) continue;
+      const Plan& p = plans[c];
+      bool done = false;
+      if (jobs[c].op == kOpV) {
+        const double ah = p.l.height(s.i), bh = p.r.height(s.j);
+        const double w = p.l.width(s.i) + p.r.width(s.j);
+        const double h = ah > bh ? ah : bh;
+        if (w == s.last) {
+          h_[p.off + s.out - 1] = h;
+        } else {
+          w_[p.off + s.out] = w;
+          h_[p.off + s.out] = h;
+          ++s.out;
+          s.last = w;
+        }
+        if (ah > bh) {
+          done = ++s.i == p.l.n;
+        } else if (bh > ah) {
+          done = ++s.j == p.r.n;
+        } else {
+          ++s.i;
+          ++s.j;
+          done = s.i == p.l.n || s.j == p.r.n;
+        }
+      } else {
+        const double aw = p.l.width(s.i - 1), bw = p.r.width(s.j - 1);
+        const double w = aw > bw ? aw : bw;
+        const double h = p.l.height(s.i - 1) + p.r.height(s.j - 1);
+        if (h == s.last) {
+          w_[p.off + s.out - 1] = w;
+        } else {
+          w_[p.off + s.out] = w;
+          h_[p.off + s.out] = h;
+          ++s.out;
+          s.last = h;
+        }
+        if (aw > bw) {
+          done = --s.i == 0;
+        } else if (bw > aw) {
+          done = --s.j == 0;
+        } else {
+          --s.i;
+          --s.j;
+          done = s.i == 0 || s.j == 0;
+        }
+      }
+      if (done) {
+        s.active = false;
+        --active;
+      }
+    }
+  }
+
+  // Pass 4: per job, restore increasing-width order (vertical sweeps
+  // emitted descending), apply the exact prune selection (spread indices
+  // over the pre-prune list, consecutive-duplicate drop), and publish the
+  // slot.
+  for (std::size_t c = 0; c < count; ++c) {
+    Plan& p = plans[c];
+    if (p.mode == Plan::kSweep) {
+      p.n = st[c].out;
+      if (jobs[c].op == kOpH) {
+        std::reverse(w_.begin() + p.off, w_.begin() + p.off + p.n);
+        std::reverse(h_.begin() + p.off, h_.begin() + p.off + p.n);
+      }
+    }
+    if (p.n > curve_points && curve_points >= 2) {
+      // In-place spread selection: source index >= destination index
+      // throughout, so forward copying is safe.
+      std::uint32_t kept = 0;
+      for (std::size_t t = 0; t < curve_points; ++t) {
+        const std::size_t idx = t * (p.n - 1) / (curve_points - 1);
+        const double pw = w_[p.off + idx], ph = h_[p.off + idx];
+        if (kept == 0 || !(w_[p.off + kept - 1] == pw && h_[p.off + kept - 1] == ph)) {
+          w_[p.off + kept] = pw;
+          h_[p.off + kept] = ph;
+          ++kept;
+        }
+      }
+      p.n = kept;
+    }
+    jobs[c].out = static_cast<std::int32_t>(slots_.size());
+    slots_.push_back({p.off, p.n});
+  }
+}
+
+ShapeCurve LaneShapeBatch::materialize(std::int32_t slot) const {
+  const SlotRec& s = slots_[static_cast<std::size_t>(slot)];
+  std::vector<Shape> pts(s.count);
+  for (std::size_t t = 0; t < s.count; ++t) {
+    pts[t] = Shape{w_[s.offset + t], h_[s.offset + t]};
+  }
+  // from_sorted re-checks the frontier invariant in debug builds, the
+  // same guard the scalar composers pass through on every prune.
+  return ShapeCurve::from_sorted(std::move(pts));
+}
+
+}  // namespace hidap

@@ -1,0 +1,98 @@
+#pragma once
+// SoA shape-curve frontiers for lane-batched slicing-tree evaluation
+// (ROADMAP "batch the tree evaluation" item; the layout is also the
+// prerequisite for a later GPU backend).
+//
+// IncrementalLayoutEval::propose_batch walks the slicing tree once for
+// all K speculative candidates: nodes outside the union of per-lane
+// dirty spans reuse the committed <Gamma, am, at> caches untouched, and
+// the lane-divergent suffix composes its shape curves here. All lanes'
+// composed frontiers live in one append-only arena of parallel
+// width/height arrays (each frontier a contiguous run), and compose()
+// advances every lane's minimal-pair sweep in lockstep, level by level,
+// instead of finishing one lane's curve before starting the next.
+//
+// Bit-exactness contract: per lane, the emitted points are the output of
+// the exact ShapeCurve sweep composers (geometry/shape_curve.cpp) --
+// same merged-order walk, same sums/maxes, same collision overwrites,
+// same prune selection -- so a lane's frontier is bit-identical to what
+// the scalar budget_compose_info chain would produce for that candidate.
+// tests/test_shape_curve.cpp enforces this property differentially at
+// widths 1/4/16.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "floorplan/budget_layout.hpp"
+#include "geometry/shape_curve.hpp"
+
+namespace hidap {
+
+/// Arena of per-lane shape-curve frontiers in SoA form plus the batched
+/// composer. Slots are append-only within a batch; begin() recycles the
+/// storage. Slot -1 never names a curve (operands use it for "see the
+/// AoS pointer instead").
+class LaneShapeBatch {
+ public:
+  /// A compose operand: exactly one of `aos` (a committed/leaf curve) or
+  /// `slot` (a frontier composed earlier this batch) is set.
+  struct Operand {
+    const ShapeCurve* aos = nullptr;
+    std::int32_t slot = -1;
+  };
+
+  /// One lane's pending composition: `op` is the Polish operator (kOpV =
+  /// side by side = horizontal compose, kOpH = stacked = vertical
+  /// compose, matching budget_compose_info), children resolve through
+  /// Operand, and `out` receives the produced slot id.
+  struct Job {
+    int op = 0;
+    Operand left, right;
+    std::int32_t out = -1;
+  };
+
+  /// Starts a new batch: drops all slots, keeps the arena capacity.
+  void begin();
+
+  /// Composes up to kMaxJobs jobs with the per-level sweeps interleaved
+  /// vertically across the jobs. Jobs within one call must not depend on
+  /// each other's outputs (the incremental engine groups jobs by element
+  /// position: same-position jobs belong to distinct lanes). Each result
+  /// is pruned to `curve_points` exactly like budget_compose_info,
+  /// including the empty-child copy cases.
+  void compose(Job* jobs, std::size_t count, std::size_t curve_points);
+
+  /// Largest job group compose() accepts per call (one per lane).
+  static constexpr std::size_t kMaxJobs = 16;
+
+  std::size_t slot_size(std::int32_t slot) const {
+    return slots_[static_cast<std::size_t>(slot)].count;
+  }
+  bool slot_empty(std::int32_t slot) const { return slot_size(slot) == 0; }
+
+  /// SoA view of a composed frontier. Stable for the rest of the batch
+  /// (compose() may grow the arena, so take refs after all composes that
+  /// feed a consumer have run; the engine's top-down probes do).
+  BudgetCurveRef slot_ref(std::int32_t slot) const {
+    const SlotRec& s = slots_[static_cast<std::size_t>(slot)];
+    return BudgetCurveRef::of_soa(w_.data() + s.offset, h_.data() + s.offset, s.count);
+  }
+
+  /// Copies a composed frontier out as a ShapeCurve (commit adoption).
+  ShapeCurve materialize(std::int32_t slot) const;
+
+  std::size_t slot_count() const { return slots_.size(); }
+
+ private:
+  struct SlotRec {
+    std::uint32_t offset = 0;
+    std::uint32_t count = 0;
+  };
+
+  std::vector<SlotRec> slots_;
+  std::vector<double> w_, h_;  ///< parallel arrays; one contiguous run per slot
+  std::size_t cursor_ = 0;     ///< next free arena index
+};
+
+}  // namespace hidap

@@ -302,6 +302,84 @@ TEST(Annealer, AdaptiveWidthOpensBatchesOnceRejectionsDominate) {
   EXPECT_GE(batched.stats.batch_wasted, 0);
 }
 
+TEST(Annealer, BatchWasteCountsOnlyAcceptanceInvalidatedLanes) {
+  // batch_wasted's contract, pinned with a fully scripted run: a lane is
+  // wasted only when an earlier lane's acceptance invalidated it. The
+  // script runs one all-rejected scalar step (driving the observed
+  // acceptance rate to zero so the next step opens to the full batch
+  // width), then three batches: an acceptance at lane 1 of batch #1
+  // (waste = k - 2 trailing lanes), an all-rejected batch #2 (no waste),
+  // and a cooperative stop during batch #3 -- whose lanes are abandoned,
+  // not wasted, and must not be counted (the over-reporting bug this
+  // guards against inflated every stopped run's wasted-vs-offered
+  // ratio).
+  JobControl control;
+  auto committed = std::make_shared<double>(1000.0);
+  auto accepted_cost = std::make_shared<double>(0.0);
+  auto batch_calls = std::make_shared<int>(0);
+  auto discards = std::make_shared<int>(0);
+  auto accepts = std::make_shared<int>(0);
+
+  AnnealOptions opt;
+  opt.seed = 17;
+  opt.control = &control;
+  opt.calibration_moves = 0;  // T0 falls back to 5% of |initial cost|
+  opt.moves_per_temperature = 10;
+  opt.max_stagnant_temperatures = 1000;
+  opt.batch_moves = true;
+  opt.batch_size = 4;
+
+  // Uphill by +1e9 rejects deterministically at any temperature the
+  // schedule can reach: exp(-1e9 / T) underflows to exactly 0.0, so the
+  // accept draw never passes. Downhill accepts without drawing at all.
+  const double kRejected = 1e9;
+  AnnealHooks hooks;
+  hooks.propose = [committed, kRejected]() { return *committed + kRejected; };
+  hooks.reject = []() {};
+  hooks.propose_batch = [=, &control](std::size_t k, double* costs) {
+    ++*batch_calls;
+    for (std::size_t lane = 0; lane < k; ++lane) costs[lane] = *committed + kRejected;
+    if (*batch_calls == 1 && k >= 2) {
+      costs[1] = *committed - 1.0;  // accepted at lane 1: lanes 2.. are waste
+      *accepted_cost = costs[1];
+    }
+    if (*batch_calls == 3) control.request_cancel();  // stop before any lane replays
+  };
+  hooks.accept_batch = [=](std::size_t lane) {
+    EXPECT_EQ(lane, 1u);
+    ++*accepts;
+    *committed = *accepted_cost;
+  };
+  hooks.discard_batch = [discards]() { ++*discards; };
+
+  const AnnealStats stats = anneal(*committed, opt, hooks);
+  EXPECT_TRUE(stats.stopped);
+  // Step 1: 10 scalar rejections. Step 2: batch #1 consumes 2 of 4 lanes
+  // (acceptance at lane 1), batch #2 consumes all 4, batch #3 is stopped
+  // before its first lane.
+  EXPECT_EQ(stats.batches, 3);
+  EXPECT_EQ(stats.batch_candidates, 12);
+  EXPECT_EQ(stats.moves_attempted, 16);
+  EXPECT_EQ(stats.moves_accepted, 1);
+  EXPECT_EQ(*accepts, 1);
+  EXPECT_EQ(*discards, 2);  // batch #2 (all-rejected) and batch #3 (stopped)
+  // The heart of the test: only batch #1's two invalidated lanes count.
+  EXPECT_EQ(stats.batch_wasted, 2);
+}
+
+TEST(Annealer, AutoscaledMovesClampsAroundReferenceBlockCount) {
+  // Linear in the block count around the 8-block reference, clamped to
+  // [0.5x, 4x], never below one move.
+  EXPECT_EQ(autoscaled_moves(200, 8), 200);
+  EXPECT_EQ(autoscaled_moves(200, 4), 100);
+  EXPECT_EQ(autoscaled_moves(200, 2), 100);     // clamped at 0.5x
+  EXPECT_EQ(autoscaled_moves(200, 16), 400);
+  EXPECT_EQ(autoscaled_moves(200, 32), 800);
+  EXPECT_EQ(autoscaled_moves(200, 1000), 800);  // clamped at 4x
+  EXPECT_EQ(autoscaled_moves(1, 1), 1);
+  EXPECT_EQ(autoscaled_moves(0, 100), 1);
+}
+
 TEST(AnnealerCancel, PreCancelledRunsNoMoves) {
   JobControl control;
   control.request_cancel();

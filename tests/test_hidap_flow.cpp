@@ -146,6 +146,24 @@ TEST_F(HidapFlowTest, SchedulerThreadCountInvariance) {
   expect_identical(a, place_macros(*design_, *context_, mid));
 }
 
+TEST_F(HidapFlowTest, OverlappedCurveGenerationIsByteIdentical) {
+  // overlap_curves dispatches the shape-curve shards as a pool task that
+  // runs concurrently with the recursion front, joined before the first
+  // curve read. Same per-node seeds either way, so the placement must be
+  // byte-identical to the eager path at every lane cap (1 lane falls
+  // back to inline generation; the claim flag decides the rest).
+  HiDaPOptions eager = quick_options(9);
+  eager.overlap_curves = false;
+  eager.num_threads = 8;
+  const PlacementResult a = place_macros(*design_, *context_, eager);
+  for (const int threads : {1, 4, 8}) {
+    HiDaPOptions overlapped = quick_options(9);
+    overlapped.overlap_curves = true;
+    overlapped.num_threads = threads;
+    expect_identical(a, place_macros(*design_, *context_, overlapped));
+  }
+}
+
 TEST_F(HidapFlowTest, SchedulerMatchesSequentialOracle) {
   // parallel_levels = false runs the identical snapshot-semantics
   // recursion as a plain DFS -- the scheduler's differential oracle.

@@ -233,6 +233,144 @@ TEST(IncrementalLayoutEval, BatchedProposalsMatchScalarProposalsBitForBit) {
   }
 }
 
+TEST(IncrementalLayoutEval, LaneWalkMatchesSerialLaneWalkBitForBit) {
+  // propose_batch (one shared changed-prefix walk, SoA lane suffixes)
+  // against propose_batch_serial (one full scalar walk per lane), fed
+  // identical generate streams through a mixed commit/discard history:
+  // every lane cost, every committed cost, and every committed rect must
+  // agree bit for bit. This pins the lane walk to its own in-repo oracle
+  // independently of the scalar-propose twin above, including the
+  // adopt-without-rewalk commit path.
+  set_log_level(LogLevel::Warn);
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    for (std::uint64_t problem_seed = 60; problem_seed <= 64; ++problem_seed) {
+      GeneratedProblem g = make_problem(problem_seed);
+      g.problem.affinity = &g.affinity;
+      const int n = static_cast<int>(g.blocks.size());
+      IncrementalLayoutEval lanes(g.problem.blocks, g.problem.region, g.problem.terminals,
+                                  *g.problem.affinity, PolishExpression::initial(n));
+      IncrementalLayoutEval serial(g.problem.blocks, g.problem.region, g.problem.terminals,
+                                   *g.problem.affinity, PolishExpression::initial(n));
+
+      Rng rng_a(problem_seed * 911 + 3);
+      Rng rng_b(problem_seed * 911 + 3);
+      Rng flip(problem_seed * 29 + 7);
+      std::array<double, IncrementalLayoutEval::kMaxBatch> costs_a{};
+      std::array<double, IncrementalLayoutEval::kMaxBatch> costs_b{};
+      const auto mutate = [](Rng& rng) {
+        return [&rng](std::size_t, PolishExpression& expr) {
+          for (int tries = 0; tries < 8; ++tries) {
+            if (expr.perturb(rng)) break;
+          }
+        };
+      };
+      for (int round = 0; round < 40; ++round) {
+        lanes.propose_batch(batch, mutate(rng_a), costs_a.data());
+        serial.propose_batch_serial(batch, mutate(rng_b), costs_b.data());
+        for (std::size_t lane = 0; lane < batch; ++lane) {
+          ASSERT_EQ(costs_a[lane], costs_b[lane])
+              << "batch " << batch << " problem " << problem_seed << " round " << round
+              << " lane " << lane;
+        }
+        if (flip.next_bool(0.5)) {
+          const std::size_t lane = flip.next_below(batch);
+          lanes.commit_candidate(lane);
+          serial.commit_candidate(lane);
+        } else {
+          lanes.discard_batch();
+          serial.discard_batch();
+        }
+        ASSERT_EQ(lanes.cost(), serial.cost());
+        ASSERT_EQ(lanes.expression().elements(), serial.expression().elements());
+        ASSERT_EQ(lanes.rects().size(), serial.rects().size());
+        for (std::size_t b = 0; b < lanes.rects().size(); ++b) {
+          ASSERT_EQ(lanes.rects()[b], serial.rects()[b]) << "block " << b;
+        }
+      }
+      expect_layout_state_matches_oracle(g, lanes);
+    }
+  }
+}
+
+TEST(IncrementalLayoutEval, LaneWalkCountersEqualDirtyClosureOracle) {
+  // The shared pass recomposes exactly each lane's dirty closure -- the
+  // mutated element positions plus their committed-tree ancestors -- and
+  // never touches a node outside it. An independent postfix parse
+  // rebuilds the committed parent links and recomputes the closure per
+  // lane; last_batch_nodes_walked must equal its size exactly, and the
+  // cumulative LaneWalkStats must account every (lane x node) slot as
+  // either walked or served by the committed caches.
+  set_log_level(LogLevel::Warn);
+  for (std::uint64_t problem_seed = 70; problem_seed <= 75; ++problem_seed) {
+    GeneratedProblem g = make_problem(problem_seed);
+    g.problem.affinity = &g.affinity;
+    const int n = static_cast<int>(g.blocks.size());
+    IncrementalLayoutEval eval(g.problem.blocks, g.problem.region, g.problem.terminals,
+                               *g.problem.affinity, PolishExpression::initial(n));
+
+    Rng rng(problem_seed * 607 + 13);
+    Rng flip(problem_seed * 41 + 1);
+    const std::size_t batch = 8;
+    std::array<PolishExpression, IncrementalLayoutEval::kMaxBatch> exprs;
+    std::array<double, IncrementalLayoutEval::kMaxBatch> costs{};
+    for (int round = 0; round < 50; ++round) {
+      const std::vector<int> committed = eval.expression().elements();
+      eval.propose_batch(
+          batch,
+          [&rng, &exprs](std::size_t lane, PolishExpression& expr) {
+            for (int tries = 0; tries < 8; ++tries) {
+              if (expr.perturb(rng)) break;
+            }
+            exprs[lane] = expr;
+          },
+          costs.data());
+
+      // Committed-tree parent links from a plain postfix parse.
+      std::vector<int> parent(committed.size(), -1);
+      std::vector<std::size_t> stack;
+      for (std::size_t p = 0; p < committed.size(); ++p) {
+        if (is_operator(committed[p])) {
+          parent[stack.back()] = static_cast<int>(p);
+          stack.pop_back();
+          parent[stack.back()] = static_cast<int>(p);
+          stack.pop_back();
+        }
+        stack.push_back(p);
+      }
+      ASSERT_EQ(stack.size(), 1u);
+      stack.clear();
+
+      for (std::size_t lane = 0; lane < batch; ++lane) {
+        const std::vector<int>& elems = exprs[lane].elements();
+        ASSERT_EQ(elems.size(), committed.size());
+        std::vector<char> dirty(committed.size(), 0);
+        std::size_t closure = 0;
+        for (std::size_t p = 0; p < committed.size(); ++p) {
+          if (elems[p] == committed[p]) continue;
+          for (int q = static_cast<int>(p); q >= 0; q = parent[static_cast<std::size_t>(q)]) {
+            if (dirty[static_cast<std::size_t>(q)]) break;
+            dirty[static_cast<std::size_t>(q)] = 1;
+            ++closure;
+          }
+        }
+        ASSERT_EQ(eval.last_batch_nodes_walked(lane), closure)
+            << "problem " << problem_seed << " round " << round << " lane " << lane;
+      }
+
+      if (flip.next_bool(0.5)) {
+        eval.commit_candidate(flip.next_below(batch));
+      } else {
+        eval.discard_batch();
+      }
+    }
+    const IncrementalLayoutEval::LaneWalkStats& walk = eval.lane_walk_stats();
+    EXPECT_EQ(walk.batches, 50u);
+    EXPECT_EQ(walk.lane_nodes, 50u * batch * (2u * static_cast<std::size_t>(n) - 1u));
+    EXPECT_LE(walk.nodes_walked, walk.lane_nodes);
+    EXPECT_GT(walk.nodes_walked, 0u);
+  }
+}
+
 TEST(IncrementalLayoutEval, RepeatedRollbacksLeaveCommittedStateIntact) {
   GeneratedProblem g = make_problem(42);
   g.problem.affinity = &g.affinity;
